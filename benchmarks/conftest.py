@@ -1,0 +1,35 @@
+"""Shared fixtures for the figure/table benchmark harness.
+
+The full evaluation suite (10 benchmarks x 3 systems) is simulated once
+per session and shared by every figure benchmark.  Scale via environment:
+
+* ``REPRO_BENCH_TXNS``  — transactions per core (default 300),
+* ``REPRO_BENCH_SEED``  — master seed (default 1).
+
+Run with ``pytest benchmarks/ --benchmark-only``; each benchmark prints
+the regenerated table/figure (use ``-s`` to see them inline; a summary is
+always attached to the pytest-benchmark report).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import run_suite
+
+BENCH_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "300"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full evaluation run shared by all figure benchmarks."""
+    return run_suite(txns_per_core=BENCH_TXNS, seed=BENCH_SEED)
+
+
+def emit(text: str) -> None:
+    """Print a regenerated artifact (visible with -s / captured otherwise)."""
+    print()
+    print(text)

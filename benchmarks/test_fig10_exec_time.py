@@ -1,0 +1,35 @@
+"""Figure 10: improvement of overall execution time.
+
+Paper shapes: positive impact on almost all benchmarks, reaching ≈30%
+for the high-retry benchmarks; utilitymine is flat (−0.1% in the paper);
+benchmarks with long non-transactional time improve less; the perfect
+system is the approximate upper bound.
+"""
+
+from conftest import emit
+
+from repro.analysis import figures
+from repro.analysis.report import render_fig10
+
+
+def test_fig10_execution_time_improvement(benchmark, suite):
+    rows = benchmark(figures.fig10_exec_improvement, suite)
+    emit(render_fig10(suite))
+
+    by_name = {n: (s, p) for n, s, p in rows}
+    avg_sub, avg_perfect = by_name.pop("average")
+
+    # Meaningful overall gain, some benchmark near the paper's ≈30% peak.
+    assert avg_sub > 0.0
+    best = max(s for s, _ in by_name.values())
+    assert best > 0.15
+
+    # utilitymine stays flat (the paper's −0.1% case).
+    assert abs(by_name["utilitymine"][0]) < 0.25
+
+    # Sub-blocking tracks the perfect bound on average.
+    assert avg_sub <= avg_perfect + 0.1
+
+    # Most benchmarks improve (paper: all except utilitymine).
+    improved = sum(1 for s, _ in by_name.values() if s > -0.02)
+    assert improved >= 7

@@ -1,0 +1,23 @@
+"""Figure 1: false conflict rate of STAMP and RMS-TM benchmarks.
+
+Paper values to compare against: most benchmarks above 40%, ssca2 and
+apriori above 90%, intruder the lowest, average ≈46%.
+"""
+
+from conftest import emit
+
+from repro.analysis import figures
+from repro.analysis.report import render_fig1
+
+
+def test_fig1_false_conflict_rate(benchmark, suite):
+    rows = benchmark(figures.fig1_false_rates, suite)
+    emit(render_fig1(suite))
+
+    rates = dict(rows)
+    average = rates.pop("average")
+    # Paper shapes.
+    assert min(rates, key=rates.get) == "intruder"
+    assert rates["ssca2"] > 0.7
+    assert rates["apriori"] > 0.8
+    assert 0.3 < average < 0.8

@@ -1,0 +1,25 @@
+"""Figure 2: breakdown of false conflict types (WAR / RAW / WAW).
+
+Paper shapes: vacation and apriori WAR-dominant; kmeans, labyrinth and
+genome RAW-dominant (≈73% on average); WAW ≈0% everywhere.
+"""
+
+from conftest import emit
+
+from repro.analysis import figures
+from repro.analysis.report import render_fig2
+
+
+def test_fig2_false_conflict_breakdown(benchmark, suite):
+    rows = benchmark(figures.fig2_breakdown, suite)
+    emit(render_fig2(suite))
+
+    by_name = {r[0]: r for r in rows}
+    for name in ("vacation", "apriori"):
+        _, war, raw, _ = by_name[name]
+        assert war > raw, f"{name} should be WAR-dominant"
+    for name in ("kmeans", "labyrinth", "genome"):
+        _, war, raw, _ = by_name[name]
+        assert raw > war, f"{name} should be RAW-dominant"
+    for name, _, _, waw in rows:
+        assert waw < 0.15, f"{name} WAW share should be negligible"

@@ -1,0 +1,35 @@
+"""Figure 4: false conflict number by cache line index.
+
+Paper shapes: vacation and intruder spread false conflicts over many
+lines (near-uniform with a few peaks); kmeans concentrates them on a few
+specific lines (its shared accumulators span a handful of lines).
+"""
+
+from conftest import emit
+
+from repro.analysis import figures
+from repro.analysis.report import render_fig4
+
+
+def _top_share(hist, k=5):
+    total = sum(c for _, c in hist)
+    if total == 0:
+        return 0.0
+    top = sorted((c for _, c in hist), reverse=True)[:k]
+    return sum(top) / total
+
+
+def test_fig4_false_conflicts_by_line(benchmark, suite):
+    data = benchmark(figures.fig4_line_histogram, suite)
+    emit(render_fig4(suite))
+
+    # Totals agree with the conflict counters.
+    for name, hist in data.items():
+        assert sum(c for _, c in hist) == (
+            suite[name].baseline.stats.conflicts.total_false
+        )
+
+    # kmeans concentrated on few lines; vacation spread over many.
+    assert len(data["kmeans"]) < len(data["vacation"])
+    assert _top_share(data["kmeans"]) > 0.6
+    assert _top_share(data["kmeans"]) > _top_share(data["vacation"])

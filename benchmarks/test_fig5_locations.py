@@ -1,0 +1,28 @@
+"""Figure 5: number of accesses by location inside cache lines.
+
+Paper shapes: accesses scatter regularly across the line at 8-byte
+granularity for vacation, genome and intruder, and at 4-byte granularity
+for kmeans — the observation that motivates sub-blocking.
+"""
+
+from conftest import emit
+
+from repro.analysis import figures
+from repro.analysis.report import render_fig5
+
+
+def test_fig5_access_locations(benchmark, suite):
+    data = benchmark(figures.fig5_offset_histogram, suite)
+    emit(render_fig5(suite))
+
+    for name, hist in data.items():
+        assert all(0 <= off < 64 for off, _ in hist)
+
+    for name in ("vacation", "genome", "intruder"):
+        grain = figures.fig5_dominant_grain(suite[name].baseline.stats)
+        assert grain == 8, f"{name}: expected 8-byte grid, got {grain}"
+    assert figures.fig5_dominant_grain(suite["kmeans"].baseline.stats) == 4
+
+    # "Regularly scattered": genome touches several distinct offsets.
+    genome_offsets = {off for off, c in data["genome"] if c > 0}
+    assert len(genome_offsets) >= 6

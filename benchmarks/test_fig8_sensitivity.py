@@ -1,0 +1,41 @@
+"""Figure 8: false conflict reduction rate of different configurations.
+
+Paper shapes: 16 sub-blocks eliminate everything; 8 sub-blocks reach
+≈100% except kmeans (4-byte data); 4 sub-blocks are ≈100% for vacation,
+scalparc and apriori, low for utilitymine; the average at N=4 is ≈56%.
+"""
+
+from conftest import emit
+
+from repro.analysis import figures
+from repro.analysis.report import render_fig8
+
+
+def test_fig8_subblock_sensitivity(benchmark, suite):
+    rows = benchmark(figures.fig8_sensitivity, suite)
+    emit(render_fig8(suite))
+
+    by_name = dict(rows)
+    # Monotone and complete at byte-equivalent granularity.
+    for name, byn in rows:
+        vals = [byn[n] for n in (2, 4, 8, 16)]
+        assert vals == sorted(vals), name
+        assert byn[16] == 1.0, name
+
+    # kmeans is the only benchmark not done at 8 sub-blocks.
+    for name, byn in by_name.items():
+        if name in ("kmeans", "average"):
+            continue
+        assert byn[8] > 0.9, f"{name}: {byn[8]}"
+    assert by_name["kmeans"][8] < 0.99
+
+    # The N=4 trio and the N=4 failure case.
+    for name in ("vacation", "scalparc", "apriori"):
+        assert by_name[name][4] > 0.9, name
+    others = sorted(
+        v[4] for k, v in by_name.items() if k not in ("utilitymine", "average")
+    )
+    assert by_name["utilitymine"][4] < others[2]
+
+    # Average at the paper's chosen configuration.
+    assert 0.4 < by_name["average"][4] <= 1.0

@@ -1,0 +1,36 @@
+"""Figure 9: percentage of overall conflict reduction.
+
+Paper shapes: on average sub-blocking removes ≈31% of all conflicts —
+about 83% of what the perfect system removes; intruder (lowest false
+rate), utilitymine (low N=4 reduction) and labyrinth (tiny conflict
+counts, high variance) are the outliers.
+"""
+
+from conftest import emit
+
+from repro.analysis import figures
+from repro.analysis.report import render_fig9
+
+
+def test_fig9_overall_conflict_reduction(benchmark, suite):
+    rows = benchmark(figures.fig9_overall_reduction, suite)
+    emit(render_fig9(suite))
+
+    by_name = {n: (s, p) for n, s, p in rows}
+    avg_sub, avg_perfect = by_name["average"]
+
+    # Average reduction is substantial and within the perfect envelope.
+    assert avg_sub > 0.1  # paper: 31.3%
+    assert avg_sub <= avg_perfect + 0.15
+
+    # The strong performers clearly reduce conflicts.
+    for name in ("ssca2", "apriori"):
+        assert by_name[name][0] > 0.3, name
+    assert by_name["scalparc"][0] > 0.1
+
+    # The paper's outliers sit at the bottom of the ranking.
+    ranked = sorted(
+        (s, n) for n, (s, _) in by_name.items() if n != "average"
+    )
+    bottom = {n for _, n in ranked[:4]}
+    assert {"intruder", "utilitymine"} & bottom or {"labyrinth"} & bottom

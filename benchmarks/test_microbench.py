@@ -1,0 +1,54 @@
+"""Component micro-benchmarks: simulator throughput hot paths.
+
+Not paper artifacts — these track the simulator's own performance so
+regressions in the access path / engine loop are visible.
+"""
+
+from repro.config import DetectionScheme, default_system
+from repro.htm.machine import HtmMachine
+from repro.sim.engine import SimulationEngine
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.vacation import VacationWorkload
+
+
+def test_machine_access_throughput(benchmark):
+    """Transactional accesses per second on one core (hit-dominated)."""
+    machine = HtmMachine(default_system(DetectionScheme.SUBBLOCK, 4))
+    txn = machine.new_txn(0, 0, (), 1, 0)
+    machine.begin_txn(0, txn)
+    addrs = [0x10000 + i * 8 for i in range(64)]
+
+    def accesses():
+        t = 0
+        for a in addrs:
+            machine.access(0, a, 8, False, t)
+            t += 1
+        return t
+
+    assert benchmark(accesses) == 64
+
+
+def test_engine_event_rate(benchmark):
+    """Full engine throughput on an uncontended workload."""
+    w = SyntheticWorkload(txns_per_core=20, n_records=4096, hot_fraction=0.0)
+    cfg = default_system()
+    scripts = w.build(cfg.n_cores, 3)
+
+    def run():
+        return SimulationEngine(cfg, scripts, seed=3, check_atomicity=False).run()
+
+    stats = benchmark(run)
+    assert stats.txn_commits == 160
+
+
+def test_contended_run_with_checker(benchmark):
+    """End-to-end cost of a contended run with full atomicity checking."""
+    w = VacationWorkload(txns_per_core=25)
+    cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+    scripts = w.build(cfg.n_cores, 3)
+
+    def run():
+        return SimulationEngine(cfg, scripts, seed=3, check_atomicity=True).run()
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.txn_commits == 200

@@ -1,0 +1,24 @@
+"""Table II: simulated machine configuration — regeneration + build cost."""
+
+from conftest import emit
+
+from repro.analysis.report import render_table2
+from repro.config import DetectionScheme, default_system
+from repro.htm.machine import HtmMachine
+
+
+def test_table2_regenerated(benchmark):
+    """Regenerate Table II and benchmark the cost of instantiating the
+    whole Table II machine (caches, hierarchy, detector)."""
+
+    def build():
+        return HtmMachine(default_system(DetectionScheme.SUBBLOCK, 4))
+
+    machine = benchmark(build)
+    assert machine.config.n_cores == 8
+    assert machine.mem.l1s[0].n_sets == 512
+
+    text = render_table2()
+    emit(text)
+    for token in ("64KB", "512KB", "2MB", "210"):
+        assert token in text

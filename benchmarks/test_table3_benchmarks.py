@@ -1,0 +1,20 @@
+"""Table III: benchmark inventory — regeneration + compilation cost."""
+
+from conftest import emit
+
+from repro.analysis.report import render_table3
+from repro.workloads.registry import BENCHMARK_NAMES, get_workload
+
+
+def test_table3_regenerated(benchmark):
+    """Regenerate Table III and benchmark compiling one representative
+    workload (vacation) for the 8-core machine."""
+    w = get_workload("vacation", txns_per_core=100)
+
+    scripts = benchmark(w.build, 8, 1)
+    assert len(scripts) == 8
+
+    text = render_table3()
+    emit(text)
+    for name in BENCHMARK_NAMES:
+        assert name in text

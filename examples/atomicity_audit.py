@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Why the Dirty state exists: an executable version of the paper's
+Figure 6 correctness argument.
+
+Sub-blocking forwards data from speculatively written lines (that is the
+point — non-overlapping sub-blocks shouldn't conflict), so a consumer can
+hold a copy whose other sub-blocks contain a remote transaction's
+uncommitted values.  The Dirty state marks those sub-blocks and forces a
+re-probe before use.
+
+This script runs the same contended workload on the sub-blocking system
+twice — dirty handling on, then off (ablation) — with the serializability
+checker collecting violations, and then replays the two scripted Figure 6
+hazards step by step.
+
+Run:  python examples/atomicity_audit.py
+"""
+
+from dataclasses import replace
+
+from repro import DetectionScheme, default_system
+from repro.htm.machine import HtmMachine
+from repro.htm.txn import TxnStatus
+from repro.sim.atomicity import AtomicityChecker
+from repro.sim.engine import SimulationEngine
+from repro.workloads.synthetic import SyntheticWorkload
+
+LINE = 0x9000
+
+
+def machine_with_checker(dirty_enabled: bool) -> HtmMachine:
+    cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+    cfg = replace(cfg, htm=replace(cfg.htm, dirty_state_enabled=dirty_enabled))
+    machine = HtmMachine(cfg)
+    machine.checker = AtomicityChecker(
+        tokens=machine.tokens, versions=machine.versions,
+        raise_on_violation=False,
+    )
+    return machine
+
+
+def figure6a(dirty_enabled: bool) -> str:
+    """T0 speculatively writes sub-block 0; T1 reads sub-block 2, then
+    reads sub-block 0 from its own cached copy."""
+    m = machine_with_checker(dirty_enabled)
+    t0 = m.new_txn(0, 0, (), 1, 0)
+    m.begin_txn(0, t0)
+    m.access(0, LINE, 8, True, 0)  # T0 writes sub-block 0
+
+    t1 = m.new_txn(1, 1, (), 1, 1)
+    m.begin_txn(1, t1)
+    m.access(1, LINE + 32, 8, False, 1)  # T1 reads sub-block 2: no conflict
+    out = m.access(1, LINE, 8, False, 2)  # T1 reads T0's sub-block!
+
+    if out.dirty_reprobe and t0.status is TxnStatus.ABORTED:
+        return "dirty re-probe fired, writer aborted, reader sees clean data"
+    if m.checker.violations:
+        return f"HAZARD: {m.checker.violations[0].detail}"
+    return "no probe, no violation detected (unexpected)"
+
+
+def figure6b(dirty_enabled: bool) -> str:
+    """T0 aborts after T1 fetched the line with T0's speculative data."""
+    m = machine_with_checker(dirty_enabled)
+    t0 = m.new_txn(0, 0, (), 1, 0)
+    m.begin_txn(0, t0)
+    m.access(0, LINE, 8, True, 0)
+
+    t1 = m.new_txn(1, 1, (), 1, 1)
+    m.begin_txn(1, t1)
+    m.access(1, LINE + 32, 8, False, 1)
+
+    from repro.htm.txn import AbortCause
+
+    m.abort_self(0, 2, AbortCause.USER)  # T0 aborts; its value is garbage
+    m.access(1, LINE, 8, False, 3)  # T1 reads the affected sub-block
+
+    if m.checker.violations:
+        return f"HAZARD: {m.checker.violations[0].detail}"
+    return "re-probe refetched committed data — correct value consumed"
+
+
+def workload_audit(dirty_enabled: bool):
+    cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+    cfg = replace(cfg, htm=replace(cfg.htm, dirty_state_enabled=dirty_enabled))
+    w = SyntheticWorkload(
+        txns_per_core=60, n_records=32, field_bytes=8, record_bytes=8,
+        reads_per_txn=(3, 6), writes_per_txn=(1, 3),
+        hot_fraction=0.6, zipf_s=0.9, gap_mean=40,
+    )
+    scripts = w.build(cfg.n_cores, 1)
+    engine = SimulationEngine(cfg, scripts, seed=1, check_atomicity=True)
+    engine.checker.raise_on_violation = False
+    engine.run()
+    return engine.checker.violations
+
+
+def main() -> None:
+    print("== Scripted Figure 6(a): RAW conflict hidden by a local hit ==")
+    print(f"  dirty ON : {figure6a(True)}")
+    print(f"  dirty OFF: {figure6a(False)}")
+    print()
+    print("== Scripted Figure 6(b): consuming an aborted writer's value ==")
+    print(f"  dirty ON : {figure6b(True)}")
+    print(f"  dirty OFF: {figure6b(False)}")
+    print()
+    print("== Whole-workload audit (contended synthetic, 480 txns) ==")
+    on = workload_audit(True)
+    off = workload_audit(False)
+    print(f"  dirty ON : {len(on)} atomicity violations")
+    print(f"  dirty OFF: {len(off)} atomicity violations")
+    if off:
+        print(f"    e.g. {off[0].detail}")
+    print()
+    print("Conclusion: the Section IV-C dirty state is load-bearing — "
+          "without it,\nsub-blocking silently breaks transactional atomicity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Why the paper excluded yada and hmm: the best-effort capacity boundary.
+
+ASF buffers speculative state in the L1 (plus limited LSQ/LLB overflow);
+a transaction whose footprint overflows one cache set can never commit.
+The paper: "we excluded … yada and hmm for their extremely large
+transactions [that] cannot fit into baseline ASF hardware."
+
+This script runs the yada-like generator on the Table II machine (it
+capacity-livelocks and the engine says so), then on a hypothetical
+16-way L1 (it commits fine) — the exclusion is a hardware budget, not a
+protocol property.
+
+Run:  python examples/capacity_limits.py
+"""
+
+from dataclasses import replace
+
+from repro.config import CacheConfig, DetectionScheme, default_system
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.workloads.hmm import HmmWorkload
+from repro.workloads.yada import YadaWorkload
+
+
+def attempt(cfg, label: str, workload_cls=YadaWorkload) -> None:
+    w = workload_cls(txns_per_core=2)
+    scripts = w.build(cfg.n_cores, seed=1)
+    engine = SimulationEngine(cfg, scripts, seed=1, check_atomicity=False)
+    print(f"{label}:")
+    try:
+        stats = engine.run()
+        print(
+            f"  committed {stats.txn_commits}/{sum(cs.n_txns for cs in scripts)} "
+            f"transactions, {stats.aborts_capacity} capacity aborts"
+        )
+    except SimulationError as exc:
+        stats = engine.machine.stats
+        print(f"  EXCLUDED: {exc}")
+        print(f"  ({stats.aborts_capacity} capacity aborts before giving up)")
+    print()
+
+
+def main() -> None:
+    table2 = default_system(DetectionScheme.SUBBLOCK, 4)
+    print("=== yada: same-set worklist aliasing ===")
+    attempt(table2, "Table II machine (64KB 2-way L1, ASF speculative buffer)")
+    print("=== hmm: power-of-two matrix-row strides ===")
+    attempt(table2, "Table II machine", HmmWorkload)
+
+    big_l1 = CacheConfig(
+        size_bytes=64 * 1024, line_size=64, associativity=16,
+        load_to_use_cycles=3,
+    )
+    attempt(
+        replace(table2, l1=big_l1),
+        "Hypothetical 16-way L1 (same capacity, more ways)",
+    )
+    print(
+        "Sub-blocking does not change the capacity story: it refines\n"
+        "*conflict detection*, while the speculative buffer remains the\n"
+        "L1 — best-effort HTM stays best-effort."
+    )
+
+
+if __name__ == "__main__":
+    main()

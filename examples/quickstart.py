@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: see a false transactional conflict, then see it eliminated.
+
+Two transactions touch *disjoint* 8-byte fields of the same 64-byte cache
+line.  Under baseline ASF (line-granularity SR/SW bits) the writer's
+invalidating probe aborts the reader — a false conflict.  Under the
+paper's speculative sub-blocking state (N=4, 16-byte sub-blocks) the same
+program runs conflict-free.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DetectionScheme, default_system
+from repro.htm.machine import HtmMachine
+from repro.htm.txn import TxnStatus
+
+LINE = 0x1000  # one shared cache line
+FIELD_A = LINE  # bytes 0..7   (sub-block 0)
+FIELD_B = LINE + 32  # bytes 32..39 (sub-block 2)
+
+
+def run_scenario(scheme: DetectionScheme) -> str:
+    machine = HtmMachine(default_system(scheme, n_subblocks=4))
+
+    # Core 0 begins a transaction and reads field A.
+    reader = machine.new_txn(core=0, static_id=0, ops=(), attempt=1, time=0)
+    machine.begin_txn(0, reader)
+    machine.access(core=0, addr=FIELD_A, size=8, is_write=False, time=0)
+
+    # Core 1 begins a transaction and writes field B — same line,
+    # completely different bytes.
+    writer = machine.new_txn(core=1, static_id=1, ops=(), attempt=1, time=10)
+    machine.begin_txn(1, writer)
+    outcome = machine.access(core=1, addr=FIELD_B, size=8, is_write=True, time=10)
+
+    if reader.status is TxnStatus.ABORTED:
+        rec = outcome.conflicts[0]
+        verdict = (
+            f"reader ABORTED by a {'FALSE' if rec.is_false else 'TRUE'} "
+            f"{rec.ctype.value} conflict"
+        )
+    else:
+        machine.commit(0, time=20)
+        verdict = "reader survived and committed"
+        machine.commit(1, time=21)
+    return verdict
+
+
+def main() -> None:
+    print("Two transactions, disjoint bytes, one cache line:")
+    print(f"  core 0 reads  bytes {FIELD_A % 64}..{FIELD_A % 64 + 7}")
+    print(f"  core 1 writes bytes {FIELD_B % 64}..{FIELD_B % 64 + 7}")
+    print()
+    for scheme, label in (
+        (DetectionScheme.ASF_BASELINE, "baseline ASF   "),
+        (DetectionScheme.SUBBLOCK, "sub-blocking N=4"),
+        (DetectionScheme.PERFECT, "perfect (ideal) "),
+    ):
+        print(f"  {label}: {run_scenario(scheme)}")
+    print()
+    print(
+        "The baseline pays an abort for pure false sharing; the paper's\n"
+        "sub-blocking state detects conflicts at 16-byte granularity and\n"
+        "lets both transactions commit — matching the ideal system."
+    )
+
+
+if __name__ == "__main__":
+    main()

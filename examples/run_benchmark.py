@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Run one Table III benchmark under all three systems and compare.
+
+This is the programmatic equivalent of ``repro-asf run <benchmark>``:
+compile the seeded workload once, execute it under baseline ASF,
+sub-blocking (N=4) and the perfect system, and report the paper's
+headline metrics.
+
+Run:  python examples/run_benchmark.py [benchmark] [txns_per_core]
+      python examples/run_benchmark.py vacation 200
+"""
+
+import sys
+
+from repro import compare_systems, get_workload
+from repro.util.tables import format_table, percent
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "vacation"
+    txns = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+
+    workload = get_workload(name, txns_per_core=txns)
+    print(f"Running {name} ({workload.info.description}) — "
+          f"{txns} transactions/core on 8 cores, three systems...\n")
+
+    results = compare_systems(workload, seed=1)
+    base = results["asf"]
+
+    rows = []
+    for key, label in (("asf", "baseline ASF"), ("subblock", "sub-block N=4"),
+                       ("perfect", "perfect")):
+        res = results[key]
+        s = res.stats
+        rows.append((
+            label,
+            s.txn_commits,
+            s.conflicts.total,
+            s.conflicts.total_false,
+            percent(s.conflicts.false_rate),
+            f"{s.avg_retries:.2f}",
+            s.execution_cycles,
+            percent(res.speedup_over(base)),
+        ))
+    print(format_table(
+        ("system", "commits", "conflicts", "false", "false rate",
+         "retries", "cycles", "improvement"),
+        rows,
+    ))
+
+    sub = results["subblock"]
+    print()
+    print(f"False conflicts eliminated by sub-blocking: "
+          f"{percent(sub.false_reduction_over(base))}")
+    print(f"Overall conflicts removed:                 "
+          f"{percent(sub.conflict_reduction_over(base))}")
+    print(f"Execution-time improvement:                "
+          f"{percent(sub.speedup_over(base))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Statistical vs structure-accurate workloads: does fidelity matter?
+
+The Table III generators model each benchmark's *sharing statistics*;
+``VacationTreeWorkload`` instead derives every address from a real
+red-black tree (genuine inserts with rotations, lookups walking the
+actual balanced paths).  This script runs both vacation variants through
+the same three systems and compares the signatures the paper cares
+about.
+
+Observed: the tree variant preserves the qualitative signature (high
+false rate, WAR dominance, sub-blocking wins, perfect bound above it)
+while adding structure the statistical model cannot express — e.g. the
+upper tree levels become genuinely hot lines, and lookups spread 8-byte
+field accesses *within* 32-byte nodes, which leaves more intra-sub-block
+residual false sharing at N=4 than the record-granular model shows.
+
+Run:  python examples/structure_fidelity.py
+"""
+
+from repro import compare_systems
+from repro.util.tables import format_table, percent
+from repro.workloads.vacation import VacationWorkload
+from repro.workloads.vacation_tree import VacationTreeWorkload
+
+
+def signature(workload, label):
+    results = compare_systems(workload, seed=1)
+    base = results["asf"]
+    sub = results["subblock"]
+    perfect = results["perfect"]
+    shares = base.stats.conflicts.false_breakdown()
+    return (
+        label,
+        percent(base.false_rate),
+        f"{percent(shares['WAR'], 0)}/{percent(shares['RAW'], 0)}",
+        percent(sub.false_reduction_over(base)),
+        percent(sub.speedup_over(base)),
+        percent(perfect.speedup_over(base)),
+    )
+
+
+def main() -> None:
+    txns = 150
+    rows = [
+        signature(VacationWorkload(txns_per_core=txns), "statistical"),
+        signature(
+            VacationTreeWorkload(txns_per_core=txns), "red-black tree"
+        ),
+    ]
+    print(
+        format_table(
+            (
+                "vacation variant",
+                "false rate",
+                "WAR/RAW",
+                "false red. @N=4",
+                "sub-block speedup",
+                "perfect speedup",
+            ),
+            rows,
+            title="Statistical vs structure-accurate vacation",
+        )
+    )
+    print(
+        "\nBoth reproduce the paper's signature (WAR-dominant, sub-blocking\n"
+        "recovers most of the perfect system's win).  The tree variant's\n"
+        "lower N=4 reduction is a genuine structural effect: real lookups\n"
+        "touch 8-byte fields spread across each 32-byte node, so some\n"
+        "false sharing survives inside 16-byte sub-blocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Trace-driven workflow: pin a program, replay it, inspect one line.
+
+Three steps a user debugging an HTM workload walks through:
+
+1. compile a benchmark and *serialize* the exact per-core program — the
+   file pins the experiment independent of generator code drift;
+2. replay the serialized program under two detection schemes and diff the
+   headline numbers (identical programs, so any delta is the detector);
+3. attach an access log and zoom into the hottest conflicting line:
+   who touched it, when, with what outcome.
+
+Run:  python examples/trace_workflow.py
+"""
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro import DetectionScheme, default_system, get_workload
+from repro.sim.runner import run_scripts
+from repro.trace import attach_access_log, load_scripts, save_scripts
+from repro.util.tables import format_table, percent
+
+
+def main() -> None:
+    # -- 1. pin the program -------------------------------------------------
+    workload = get_workload("genome", txns_per_core=60)
+    scripts = workload.build(8, seed=5)
+    path = Path(tempfile.mkdtemp()) / "genome-seed5.jsonl"
+    save_scripts(scripts, path, metadata={"benchmark": "genome", "seed": 5})
+    print(f"[1] serialized the compiled program to {path}")
+    loaded = load_scripts(path)
+    assert loaded == scripts
+    print("    reloaded and verified (content digest matches)\n")
+
+    # -- 2. replay under two schemes ---------------------------------------
+    rows = []
+    results = {}
+    for scheme in (DetectionScheme.ASF_BASELINE, DetectionScheme.SUBBLOCK):
+        cfg = default_system(scheme, 4)
+        res = run_scripts(loaded, cfg, seed=5, workload_name="genome")
+        results[scheme] = res
+        s = res.stats
+        rows.append((res.scheme, s.conflicts.total, s.conflicts.total_false,
+                     percent(s.conflicts.false_rate), s.execution_cycles))
+    print("[2] identical program, two detectors:")
+    print(format_table(
+        ("scheme", "conflicts", "false", "false rate", "cycles"), rows))
+    base, sub = results[DetectionScheme.ASF_BASELINE], results[DetectionScheme.SUBBLOCK]
+    print(f"    improvement: {percent(sub.speedup_over(base))}\n")
+
+    # -- 3. zoom into the hottest line with the access log -------------------
+    from repro.sim.engine import SimulationEngine
+
+    cfg = default_system(DetectionScheme.ASF_BASELINE)
+    engine = SimulationEngine(cfg, loaded, seed=5, check_atomicity=False)
+    log = attach_access_log(engine.machine)
+    stats = engine.run()
+
+    hot_line, n_false = stats.false_by_line.most_common(1)[0]
+    line_addr = hot_line * 64
+    events = log.for_line(line_addr)
+    by_core = Counter(e.core for e in events)
+    conflicts = [e for e in events if e.n_conflicts]
+    print(f"[3] hottest false-conflict line: index {hot_line} "
+          f"({n_false} false conflicts, {len(events)} accesses)")
+    print(f"    cores touching it: {dict(sorted(by_core.items()))}")
+    for e in conflicts[:5]:
+        kind = "W" if e.is_write else "R"
+        print(f"    @cycle {e.time:>7} core{e.core} {kind} "
+              f"+{e.addr % 64:<2} -> aborted {e.n_conflicts} victim(s)")
+    print("\nThe serialized program + seed reproduce every one of these "
+          "events bit-for-bit.")
+
+
+if __name__ == "__main__":
+    main()

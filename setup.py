@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The build environment for this repository is fully offline and has no
+``wheel`` package, so PEP 517 editable installs (which require
+``bdist_wheel`` for metadata generation) fail.  Keeping a classic
+``setup.py`` alongside ``pyproject.toml`` lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path, which works offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — reproduction of *"Reducing False Transactional Conflicts with
+Speculative Sub-blocking State"* (Nai & Lee, IEEE IPDPSW 2013).
+
+The package models an AMD-ASF-style hardware transactional memory on top
+of a MOESI-coherent multicore, implements the paper's speculative
+sub-blocking conflict detector, and regenerates every table and figure of
+the paper's evaluation from seeded synthetic STAMP/RMS-TM workloads.
+
+Quickstart::
+
+    from repro import compare_systems, get_workload
+
+    results = compare_systems(get_workload("vacation", 200), seed=1)
+    base, sub = results["asf"], results["subblock"]
+    print("false conflict rate:", base.false_rate)
+    print("false conflicts eliminated:", sub.false_reduction_over(base))
+    print("execution improvement:", sub.speedup_over(base))
+
+Layering (each layer only depends on the ones above it):
+
+* :mod:`repro.util`, :mod:`repro.config`, :mod:`repro.errors`
+* :mod:`repro.mem` — caches, MOESI coherence, Table II hierarchy
+* :mod:`repro.htm` — transactions, versioning, baseline ASF, the machine
+* :mod:`repro.core` — the paper's sub-blocking detector (+ perfect bound)
+* :mod:`repro.sim` — event engine, statistics, atomicity checker
+* :mod:`repro.workloads` — the ten Table III benchmark generators
+* :mod:`repro.analysis` — figure/table regeneration
+"""
+
+from repro.config import (
+    CacheConfig,
+    DetectionScheme,
+    HtmConfig,
+    LatencyConfig,
+    SystemConfig,
+    default_system,
+)
+from repro.errors import (
+    AtomicityViolation,
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.sim.runner import RunResult, compare_systems, run_workload
+from repro.workloads.registry import BENCHMARK_NAMES, all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicityViolation",
+    "BENCHMARK_NAMES",
+    "CacheConfig",
+    "ConfigError",
+    "DetectionScheme",
+    "HtmConfig",
+    "LatencyConfig",
+    "ProtocolError",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "SystemConfig",
+    "WorkloadError",
+    "__version__",
+    "all_workloads",
+    "compare_systems",
+    "default_system",
+    "get_workload",
+    "run_workload",
+]

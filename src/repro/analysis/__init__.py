@@ -1,0 +1,20 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.analysis.traceanalysis` — open-loop re-evaluation of
+  recorded conflicts under arbitrary sub-block granularity (Figures 5, 8);
+* :mod:`repro.analysis.figures` — the per-figure computations;
+* :mod:`repro.analysis.experiments` — suite orchestration: runs all
+  benchmarks under all three systems and caches the results;
+* :mod:`repro.analysis.report` — ASCII rendering and EXPERIMENTS.md
+  generation.
+"""
+
+from repro.analysis.experiments import SuiteResults, run_suite
+from repro.analysis.traceanalysis import conflict_survives, reduction_by_granularity
+
+__all__ = [
+    "SuiteResults",
+    "conflict_survives",
+    "reduction_by_granularity",
+    "run_suite",
+]

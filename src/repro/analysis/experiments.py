@@ -1,0 +1,139 @@
+"""Suite orchestration: run the whole evaluation once, read it many ways.
+
+:func:`run_suite` executes every Table III benchmark under the three
+systems of the paper's evaluation (baseline ASF, sub-blocking N=4,
+perfect) with conflict-event recording on the baseline run, and returns a
+:class:`SuiteResults` that every figure computation draws from.  The
+benchmark harness shares one suite per session via a fixture so the ten
+figure benches do not re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DetectionScheme, SystemConfig, default_system
+from repro.sim.runner import RunResult, run_scripts
+from repro.workloads.base import Workload
+from repro.workloads.registry import BENCHMARK_NAMES, get_workload
+
+__all__ = ["BenchResult", "SuiteResults", "run_suite"]
+
+#: The four evaluation figures of the STAMP subset (Figures 3-5).
+FOCUS_BENCHMARKS = ("vacation", "genome", "kmeans", "intruder")
+
+
+@dataclass(slots=True)
+class BenchResult:
+    """All three systems' runs of one benchmark on identical scripts."""
+
+    name: str
+    baseline: RunResult
+    subblock: RunResult
+    perfect: RunResult
+
+    @property
+    def false_rate(self) -> float:
+        """Baseline false-conflict rate (Figure 1)."""
+        return self.baseline.false_rate
+
+    @property
+    def false_reduction(self) -> float:
+        """Closed-loop false-conflict reduction of sub-blocking."""
+        return self.subblock.false_reduction_over(self.baseline)
+
+    @property
+    def overall_reduction(self) -> float:
+        """Overall conflict reduction of sub-blocking (Figure 9)."""
+        return self.subblock.conflict_reduction_over(self.baseline)
+
+    @property
+    def perfect_reduction(self) -> float:
+        """Overall conflict reduction of the perfect system (Figure 9)."""
+        return self.perfect.conflict_reduction_over(self.baseline)
+
+    @property
+    def speedup(self) -> float:
+        """Execution-time improvement of sub-blocking (Figure 10)."""
+        return self.subblock.speedup_over(self.baseline)
+
+    @property
+    def perfect_speedup(self) -> float:
+        """Execution-time improvement of the perfect system (Figure 10)."""
+        return self.perfect.speedup_over(self.baseline)
+
+
+@dataclass(slots=True)
+class SuiteResults:
+    """One full evaluation run over a benchmark list."""
+
+    txns_per_core: int
+    seed: int
+    benches: dict[str, BenchResult] = field(default_factory=dict)
+
+    def names(self) -> list[str]:
+        return list(self.benches)
+
+    def __getitem__(self, name: str) -> BenchResult:
+        return self.benches[name]
+
+    @property
+    def mean_false_rate(self) -> float:
+        vals = [b.false_rate for b in self.benches.values()]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def mean_false_reduction(self) -> float:
+        vals = [b.false_reduction for b in self.benches.values()]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def mean_overall_reduction(self) -> float:
+        vals = [b.overall_reduction for b in self.benches.values()]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def run_suite(
+    txns_per_core: int = 400,
+    seed: int = 1,
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    n_subblocks: int = 4,
+    config: SystemConfig | None = None,
+    check_atomicity: bool = False,
+    record_events: bool = True,
+) -> SuiteResults:
+    """Run every benchmark under baseline/sub-block/perfect.
+
+    ``check_atomicity`` defaults to off here (the correctness suite covers
+    it; the figure harness favours wall-clock).  ``record_events`` keeps
+    the baseline's conflict records for the open-loop Figure 5/8 analysis.
+    """
+    base_cfg = config if config is not None else default_system()
+    suite = SuiteResults(txns_per_core=txns_per_core, seed=seed)
+    for name in benchmarks:
+        workload: Workload = get_workload(name, txns_per_core)
+        scripts = workload.build(base_cfg.n_cores, seed)
+        runs: dict[DetectionScheme, RunResult] = {}
+        for scheme in (
+            DetectionScheme.ASF_BASELINE,
+            DetectionScheme.SUBBLOCK,
+            DetectionScheme.PERFECT,
+        ):
+            cfg = base_cfg.with_scheme(scheme, n_subblocks)
+            runs[scheme] = run_scripts(
+                scripts,
+                cfg,
+                seed,
+                workload_name=name,
+                check_atomicity=check_atomicity,
+                record_events=(
+                    record_events and scheme is DetectionScheme.ASF_BASELINE
+                ),
+            )
+        suite.benches[name] = BenchResult(
+            name=name,
+            baseline=runs[DetectionScheme.ASF_BASELINE],
+            subblock=runs[DetectionScheme.SUBBLOCK],
+            perfect=runs[DetectionScheme.PERFECT],
+        )
+    return suite

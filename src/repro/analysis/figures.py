@@ -1,0 +1,198 @@
+"""Per-figure computations.
+
+One function per evaluation artifact; each takes suite results (or a
+single run's stats) and returns plain data — rows for bar charts, series
+for line plots — that :mod:`repro.analysis.report` renders and the
+benchmark harness prints.  Keeping computation separate from rendering is
+what the tests assert against.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import FOCUS_BENCHMARKS, SuiteResults
+from repro.analysis.traceanalysis import reduction_by_granularity
+from repro.sim.stats import StatsCollector
+
+__all__ = [
+    "abort_breakdown",
+    "fig1_false_rates",
+    "fig2_breakdown",
+    "fig3_time_series",
+    "fig4_line_histogram",
+    "fig5_offset_histogram",
+    "fig8_sensitivity",
+    "fig9_overall_reduction",
+    "fig10_exec_improvement",
+]
+
+GRANULARITIES = (2, 4, 8, 16)
+
+
+def fig1_false_rates(suite: SuiteResults) -> list[tuple[str, float]]:
+    """Figure 1: baseline false-conflict rate per benchmark, plus mean."""
+    rows = [(name, suite[name].false_rate) for name in suite.names()]
+    rows.append(("average", suite.mean_false_rate))
+    return rows
+
+
+def fig2_breakdown(suite: SuiteResults) -> list[tuple[str, float, float, float]]:
+    """Figure 2: WAR/RAW/WAW shares of baseline false conflicts."""
+    rows = []
+    for name in suite.names():
+        shares = suite[name].baseline.stats.conflicts.false_breakdown()
+        rows.append((name, shares["WAR"], shares["RAW"], shares["WAW"]))
+    return rows
+
+
+def _focus(suite: SuiteResults, benchmarks: tuple[str, ...] | None) -> tuple[str, ...]:
+    """Resolve a benchmark selection against what the suite actually ran.
+
+    Defaults to the paper's four focus benchmarks (Figures 3-5), falling
+    back to every available benchmark when none of them were run.
+    """
+    if benchmarks is None:
+        benchmarks = FOCUS_BENCHMARKS
+    available = tuple(b for b in benchmarks if b in suite.benches)
+    return available if available else tuple(suite.names())
+
+
+def fig3_time_series(
+    suite: SuiteResults,
+    benchmarks: tuple[str, ...] | None = None,
+    n_points: int = 50,
+) -> dict[str, dict[str, list[tuple[int, int]]]]:
+    """Figure 3: cumulative false conflicts and transaction starts.
+
+    ``{bench: {"false_conflicts": [(t, cum)], "txn_starts": [(t, cum)]}}``
+    """
+    out: dict[str, dict[str, list[tuple[int, int]]]] = {}
+    for name in _focus(suite, benchmarks):
+        stats = suite[name].baseline.stats
+        out[name] = {
+            "false_conflicts": stats.cumulative_false_series(n_points),
+            "txn_starts": stats.cumulative_starts_series(n_points),
+        }
+    return out
+
+
+def fig4_line_histogram(
+    suite: SuiteResults, benchmarks: tuple[str, ...] | None = None
+) -> dict[str, list[tuple[int, int]]]:
+    """Figure 4: false conflicts per cache-line index."""
+    return {
+        name: suite[name].baseline.stats.line_histogram()
+        for name in _focus(suite, benchmarks)
+    }
+
+
+def fig5_offset_histogram(
+    suite: SuiteResults, benchmarks: tuple[str, ...] | None = None
+) -> dict[str, list[tuple[int, int]]]:
+    """Figure 5: access counts by starting byte offset within the line."""
+    return {
+        name: suite[name].baseline.stats.offset_histogram()
+        for name in _focus(suite, benchmarks)
+    }
+
+
+def fig5_dominant_grain(stats: StatsCollector) -> int:
+    """The dominant access granularity implied by offset alignment.
+
+    Figure 5's observation: accesses land on an 8-byte grid for most
+    benchmarks and a 4-byte grid for kmeans.  Returns the largest
+    power-of-two stride that all (weighted ≥99%) access offsets align to.
+    """
+    hist = stats.offset_histogram()
+    total = sum(c for _, c in hist)
+    if total == 0:
+        return 0
+    for grain in (64, 32, 16, 8, 4, 2, 1):
+        aligned = sum(c for off, c in hist if off % grain == 0)
+        if aligned / total >= 0.99:
+            return grain
+    return 1  # pragma: no cover - grain 1 always matches
+
+
+def fig8_sensitivity(
+    suite: SuiteResults,
+    granularities: tuple[int, ...] = GRANULARITIES,
+    include_forced_waw: bool = False,
+) -> list[tuple[str, dict[int, float]]]:
+    """Figure 8: open-loop false-conflict reduction per sub-block count.
+
+    Requires the suite to have recorded baseline conflict events.
+    """
+    rows = []
+    for name in suite.names():
+        events = suite[name].baseline.stats.conflict_events
+        rows.append(
+            (
+                name,
+                reduction_by_granularity(
+                    events, granularities, include_forced_waw=include_forced_waw
+                ),
+            )
+        )
+    avg = {
+        n: (sum(r[1][n] for r in rows) / len(rows)) if rows else 0.0
+        for n in granularities
+    }
+    rows.append(("average", avg))
+    return rows
+
+
+def abort_breakdown(suite: SuiteResults) -> list[tuple[str, int, int, int, int, int]]:
+    """Supplementary: baseline aborts by cause per benchmark.
+
+    Backs the paper's Figure 9 discussion ("Most of labyrinth's aborts
+    came from the user's aborts"): columns are true-conflict,
+    false-conflict, capacity, user and validation aborts.
+    """
+    rows = []
+    for name in suite.names():
+        s = suite[name].baseline.stats
+        rows.append(
+            (
+                name,
+                s.aborts_conflict_true,
+                s.aborts_conflict_false,
+                s.aborts_capacity,
+                s.aborts_user,
+                s.aborts_validation,
+            )
+        )
+    return rows
+
+
+def fig9_overall_reduction(suite: SuiteResults) -> list[tuple[str, float, float]]:
+    """Figure 9: overall conflict reduction, sub-block vs perfect."""
+    rows = [
+        (name, suite[name].overall_reduction, suite[name].perfect_reduction)
+        for name in suite.names()
+    ]
+    n = len(suite.names())
+    rows.append(
+        (
+            "average",
+            sum(r[1] for r in rows) / n if n else 0.0,
+            sum(r[2] for r in rows) / n if n else 0.0,
+        )
+    )
+    return rows
+
+
+def fig10_exec_improvement(suite: SuiteResults) -> list[tuple[str, float, float]]:
+    """Figure 10: execution-time improvement, sub-block vs perfect."""
+    rows = [
+        (name, suite[name].speedup, suite[name].perfect_speedup)
+        for name in suite.names()
+    ]
+    n = len(suite.names())
+    rows.append(
+        (
+            "average",
+            sum(r[1] for r in rows) / n if n else 0.0,
+            sum(r[2] for r in rows) / n if n else 0.0,
+        )
+    )
+    return rows

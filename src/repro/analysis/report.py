@@ -1,0 +1,188 @@
+"""Rendering of figures/tables as terminal output and EXPERIMENTS.md.
+
+All renderers take the data produced by :mod:`repro.analysis.figures` and
+return strings, so the benchmark harness, the CLI and the docs generator
+share one implementation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figures
+from repro.analysis.experiments import SuiteResults
+from repro.config import TABLE2_DESCRIPTION
+from repro.core.subblock_state import TABLE1_ROWS
+from repro.util.tables import format_series, format_table, percent
+from repro.workloads.registry import workload_table
+
+__all__ = [
+    "render_all",
+    "render_fig1",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_abort_breakdown",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]
+
+
+def render_table1() -> str:
+    """The paper's Table I: sub-block state encoding."""
+    return format_table(
+        ("SPEC", "WR", "State"),
+        TABLE1_ROWS,
+        title="Table I: Sub-block state",
+    )
+
+
+def render_table2() -> str:
+    """The paper's Table II: simulation configuration."""
+    return "Table II: Simulation configuration\n" + TABLE2_DESCRIPTION
+
+
+def render_table3() -> str:
+    """The paper's Table III: benchmark description."""
+    return format_table(
+        ("Benchmark", "Description"),
+        workload_table(),
+        title="Table III: Benchmark description",
+    )
+
+
+def render_fig1(suite: SuiteResults) -> str:
+    rows = [(n, percent(v)) for n, v in figures.fig1_false_rates(suite)]
+    return format_table(
+        ("benchmark", "false conflict rate"),
+        rows,
+        title="Figure 1: False conflict rate (baseline ASF)",
+    )
+
+
+def render_fig2(suite: SuiteResults) -> str:
+    rows = [
+        (n, percent(war), percent(raw), percent(waw))
+        for n, war, raw, waw in figures.fig2_breakdown(suite)
+    ]
+    return format_table(
+        ("benchmark", "WAR", "RAW", "WAW"),
+        rows,
+        title="Figure 2: Breakdown of false conflict types",
+    )
+
+
+def render_fig3(suite: SuiteResults) -> str:
+    data = figures.fig3_time_series(suite)
+    blocks = []
+    for name, series in data.items():
+        blocks.append(
+            format_series(
+                {
+                    "false conflicts": [c for _, c in series["false_conflicts"]],
+                    "txn starts": [c for _, c in series["txn_starts"]],
+                },
+                title=f"[{name}]",
+            )
+        )
+    return "Figure 3: Cumulative false conflicts over execution\n" + "\n".join(blocks)
+
+
+def render_fig4(suite: SuiteResults, top: int = 8) -> str:
+    data = figures.fig4_line_histogram(suite)
+    blocks = ["Figure 4: False conflicts by cache line index"]
+    for name, hist in data.items():
+        total_lines = len(hist)
+        hottest = sorted(hist, key=lambda kv: -kv[1])[:top]
+        total = sum(c for _, c in hist)
+        share = sum(c for _, c in hottest) / total if total else 0.0
+        blocks.append(
+            f"[{name}] {total_lines} lines with false conflicts; "
+            f"top {min(top, total_lines)} lines carry {percent(share)}: "
+            + ", ".join(f"line {i}:{c}" for i, c in hottest)
+        )
+    return "\n".join(blocks)
+
+
+def render_fig5(suite: SuiteResults) -> str:
+    data = figures.fig5_offset_histogram(suite)
+    blocks = ["Figure 5: Number of accesses by location inside cache lines"]
+    for name, hist in data.items():
+        stats = suite[name].baseline.stats
+        grain = figures.fig5_dominant_grain(stats)
+        counts = {off: c for off, c in hist}
+        series = [counts.get(off, 0) for off in range(64)]
+        blocks.append(
+            format_series({f"{name} (grain {grain}B)": series})
+        )
+    return "\n".join(blocks)
+
+
+def render_fig8(suite: SuiteResults) -> str:
+    rows = []
+    data = figures.fig8_sensitivity(suite)
+    grans = sorted(data[0][1]) if data else []
+    for name, byn in data:
+        rows.append((name, *[percent(byn[n]) for n in grans]))
+    return format_table(
+        ("benchmark", *[f"{n} sub-blocks" for n in grans]),
+        rows,
+        title="Figure 8: False conflict reduction rate of different configurations",
+    )
+
+
+def render_fig9(suite: SuiteResults) -> str:
+    rows = [
+        (n, percent(sub), percent(perf))
+        for n, sub, perf in figures.fig9_overall_reduction(suite)
+    ]
+    return format_table(
+        ("benchmark", "sub-block (N=4)", "perfect"),
+        rows,
+        title="Figure 9: Percentage of overall conflict reduction",
+    )
+
+
+def render_fig10(suite: SuiteResults) -> str:
+    rows = [
+        (n, percent(sub), percent(perf))
+        for n, sub, perf in figures.fig10_exec_improvement(suite)
+    ]
+    return format_table(
+        ("benchmark", "sub-block (N=4)", "perfect"),
+        rows,
+        title="Figure 10: Improvement of overall execution time",
+    )
+
+
+def render_abort_breakdown(suite: SuiteResults) -> str:
+    """Supplementary table: baseline aborts by cause (Fig. 9 discussion)."""
+    rows = figures.abort_breakdown(suite)
+    return format_table(
+        ("benchmark", "true conflict", "false conflict", "capacity", "user",
+         "validation"),
+        rows,
+        title="Supplementary: baseline aborts by cause",
+    )
+
+
+def render_all(suite: SuiteResults) -> str:
+    """Every table and figure, in publication order."""
+    parts = [
+        render_table1(),
+        render_table2(),
+        render_table3(),
+        render_fig1(suite),
+        render_fig2(suite),
+        render_fig3(suite),
+        render_fig4(suite),
+        render_fig5(suite),
+        render_fig8(suite),
+        render_fig9(suite),
+        render_fig10(suite),
+        render_abort_breakdown(suite),
+    ]
+    return ("\n\n" + "=" * 72 + "\n\n").join(parts)

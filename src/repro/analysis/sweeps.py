@@ -1,0 +1,177 @@
+"""Parameter sweeps and design-choice ablations.
+
+Beyond the paper's figures, DESIGN.md calls out the design choices worth
+quantifying.  Each sweep runs full closed-loop simulations over one knob
+with everything else held fixed:
+
+* :func:`sweep_subblocks` — closed-loop counterpart of Figure 8 (the
+  paper's open-loop sensitivity), including timing feedback;
+* :func:`sweep_cores` — false-conflict scaling with core count (the
+  paper's machine is fixed at 8; false sharing grows with sharers);
+* :func:`ablation_forced_waw` — quantifies the Section IV-D-2 claim that
+  accepting WAW-type false conflicts costs ≈nothing;
+* :func:`ablation_dirty_state` — performance *and* correctness cost of
+  the Section IV-C dirty machinery (the broken variant reports atomicity
+  violations instead of pretending to work);
+* :func:`sweep_backoff` — sensitivity of every scheme's results to the
+  retry contention manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import ConflictResolution, DetectionScheme, SystemConfig, default_system
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import RunResult, run_scripts
+from repro.workloads.base import Workload
+
+__all__ = [
+    "AblationPoint",
+    "ablation_dirty_state",
+    "ablation_forced_waw",
+    "sweep_backoff",
+    "sweep_cores",
+    "sweep_resolution",
+    "sweep_subblocks",
+]
+
+
+@dataclass(slots=True)
+class AblationPoint:
+    """One configuration's outcome within a sweep."""
+
+    label: str
+    result: RunResult
+    violations: int = 0
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+
+def _run(workload, cfg, seed, label, check=False) -> AblationPoint:
+    scripts = workload.build(cfg.n_cores, seed)
+    result = run_scripts(
+        scripts, cfg, seed, workload_name=workload.name, check_atomicity=check
+    )
+    return AblationPoint(label=label, result=result)
+
+
+def sweep_subblocks(
+    workload: Workload,
+    counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+    seed: int = 1,
+    config: SystemConfig | None = None,
+) -> list[AblationPoint]:
+    """Closed-loop sub-block sweep (N=1 is the baseline by construction)."""
+    base = config if config is not None else default_system()
+    return [
+        _run(
+            workload,
+            base.with_scheme(DetectionScheme.SUBBLOCK, n),
+            seed,
+            label=f"N={n}",
+        )
+        for n in counts
+    ]
+
+
+def sweep_cores(
+    workload: Workload,
+    core_counts: tuple[int, ...] = (2, 4, 8, 16),
+    seed: int = 1,
+    scheme: DetectionScheme = DetectionScheme.ASF_BASELINE,
+) -> list[AblationPoint]:
+    """How false-conflict pressure scales with the number of sharers."""
+    out = []
+    for n_cores in core_counts:
+        cfg = replace(default_system(scheme, 4), n_cores=n_cores)
+        out.append(_run(workload, cfg, seed, label=f"{n_cores} cores"))
+    return out
+
+
+def ablation_forced_waw(
+    workload: Workload, seed: int = 1, n_subblocks: int = 4
+) -> tuple[AblationPoint, AblationPoint]:
+    """Sub-blocking with and without the forced-WAW abort rule.
+
+    The paper accepts the rule because WAW-type false conflicts are ≈0%;
+    the delta between these two runs is exactly what that acceptance
+    costs on a given workload.
+    """
+    base = default_system(DetectionScheme.SUBBLOCK, n_subblocks)
+    with_rule = _run(workload, base, seed, label="forced-WAW on")
+    relaxed_cfg = replace(
+        base, htm=replace(base.htm, forced_waw_abort=False)
+    )
+    without_rule = _run(workload, relaxed_cfg, seed, label="forced-WAW off")
+    return with_rule, without_rule
+
+
+def ablation_dirty_state(
+    workload: Workload, seed: int = 1, n_subblocks: int = 4
+) -> tuple[AblationPoint, AblationPoint]:
+    """Dirty handling on vs off; the off variant also reports how many
+    atomicity violations the checker found (it is *incorrect* hardware,
+    not merely slower)."""
+    base = default_system(DetectionScheme.SUBBLOCK, n_subblocks)
+    on = _run(workload, base, seed, label="dirty on", check=True)
+
+    off_cfg = replace(base, htm=replace(base.htm, dirty_state_enabled=False))
+    scripts = workload.build(off_cfg.n_cores, seed)
+    engine = SimulationEngine(off_cfg, scripts, seed=seed, check_atomicity=True)
+    engine.checker.raise_on_violation = False
+    stats = engine.run()
+    off = AblationPoint(
+        label="dirty off (BROKEN)",
+        result=RunResult(
+            workload=workload.name,
+            scheme=engine.machine.detector.name,
+            config=off_cfg,
+            seed=seed,
+            stats=stats,
+        ),
+        violations=len(engine.checker.violations),
+    )
+    return on, off
+
+
+def sweep_resolution(
+    workload: Workload,
+    seed: int = 1,
+    scheme: DetectionScheme = DetectionScheme.SUBBLOCK,
+) -> list[AblationPoint]:
+    """Requester-wins (ASF) vs older-wins conflict resolution.
+
+    The paper's machine aborts the probed ("earlier") transaction; this
+    sweep quantifies the choice against the classic age-based policy.
+    """
+    out = []
+    for policy in ConflictResolution:
+        cfg = default_system(scheme, 4)
+        cfg = replace(cfg, htm=replace(cfg.htm, resolution=policy))
+        out.append(_run(workload, cfg, seed, label=policy.value, check=True))
+    return out
+
+
+def sweep_backoff(
+    workload: Workload,
+    bases: tuple[int, ...] = (16, 64, 256, 1024),
+    seed: int = 1,
+    scheme: DetectionScheme = DetectionScheme.SUBBLOCK,
+) -> list[AblationPoint]:
+    """Backoff-base sensitivity (the paper's software-library knob)."""
+    out = []
+    for base_cycles in bases:
+        cfg = default_system(scheme, 4)
+        cfg = replace(
+            cfg,
+            htm=replace(
+                cfg.htm,
+                backoff_base_cycles=base_cycles,
+                backoff_cap_cycles=max(base_cycles * 128, cfg.htm.backoff_cap_cycles),
+            ),
+        )
+        out.append(_run(workload, cfg, seed, label=f"base={base_cycles}"))
+    return out

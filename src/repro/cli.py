@@ -1,0 +1,270 @@
+"""Command-line interface: ``repro-asf``.
+
+Subcommands::
+
+    repro-asf list                       # Table III inventory
+    repro-asf run vacation               # one benchmark, all systems
+    repro-asf suite --txns 200           # every figure/table, printed
+    repro-asf overhead --subblocks 4     # Section IV-E cost model
+    repro-asf sweep vacation             # closed-loop sub-block sweep
+    repro-asf ablate genome              # dirty-state + forced-WAW ablations
+    repro-asf save-scripts ssca2 out.jsonl   # compile + serialize a program
+    repro-asf replay out.jsonl           # simulate a serialized program
+
+The CLI is a thin veneer over the library; anything it prints is computed
+by :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import run_suite
+from repro.analysis.report import render_all
+from repro.analysis.sweeps import (
+    ablation_dirty_state,
+    ablation_forced_waw,
+    sweep_subblocks,
+)
+from repro.config import DetectionScheme, SystemConfig, default_system
+from repro.core.overhead import OverheadModel
+from repro.sim.runner import compare_systems, run_scripts
+from repro.trace.scriptio import load_scripts, save_scripts
+from repro.util.tables import format_table, percent
+from repro.workloads.registry import BENCHMARK_NAMES, get_workload, workload_table
+
+__all__ = ["main"]
+
+ALL_SCHEMES = (
+    DetectionScheme.ASF_BASELINE,
+    DetectionScheme.SUBBLOCK,
+    DetectionScheme.PERFECT,
+    DetectionScheme.DECOUPLED,
+)
+
+
+def _result_rows(results, base):
+    rows = []
+    for name, res in results.items():
+        s = res.stats
+        rows.append(
+            (
+                name,
+                s.txn_commits,
+                s.conflicts.total,
+                s.conflicts.total_false,
+                percent(s.conflicts.false_rate),
+                f"{s.avg_retries:.2f}",
+                s.execution_cycles,
+                percent(res.speedup_over(base)),
+            )
+        )
+    return rows
+
+
+_RESULT_HEADERS = (
+    "system",
+    "commits",
+    "conflicts",
+    "false",
+    "false rate",
+    "retries",
+    "cycles",
+    "improvement",
+)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(format_table(("benchmark", "description"), workload_table()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.benchmark, args.txns)
+    schemes = ALL_SCHEMES if args.all_schemes else (
+        DetectionScheme.ASF_BASELINE,
+        DetectionScheme.SUBBLOCK,
+        DetectionScheme.PERFECT,
+    )
+    results = compare_systems(
+        workload, seed=args.seed, n_subblocks=args.subblocks,
+        check_atomicity=args.check, schemes=schemes,
+    )
+    base = results["asf"]
+    print(
+        format_table(
+            _RESULT_HEADERS,
+            _result_rows(results, base),
+            title=f"{args.benchmark} (seed {args.seed}, {args.txns} txns/core)",
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = run_suite(txns_per_core=args.txns, seed=args.seed)
+    print(render_all(suite))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    cfg = SystemConfig()
+    model = OverheadModel(l1=cfg.l1, n_subblocks=args.subblocks)
+    print(model.describe())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload = get_workload(args.benchmark, args.txns)
+    counts = tuple(int(c) for c in args.counts.split(","))
+    points = sweep_subblocks(workload, counts=counts, seed=args.seed)
+    baseline = points[0]
+    rows = [
+        (
+            p.label,
+            p.stats.conflicts.total,
+            p.stats.conflicts.total_false,
+            percent(p.result.false_reduction_over(baseline.result)),
+            percent(p.result.speedup_over(baseline.result)),
+        )
+        for p in points
+    ]
+    print(
+        format_table(
+            ("config", "conflicts", "false", "false reduction", "improvement"),
+            rows,
+            title=f"Closed-loop sub-block sweep: {args.benchmark} "
+            f"(vs {baseline.label})",
+        )
+    )
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    workload = get_workload(args.benchmark, args.txns)
+    on, off = ablation_dirty_state(workload, seed=args.seed)
+    with_rule, without = ablation_forced_waw(workload, seed=args.seed)
+    print(
+        format_table(
+            ("variant", "commits", "conflicts", "cycles", "violations"),
+            [
+                (p.label, p.stats.txn_commits, p.stats.conflicts.total,
+                 p.stats.execution_cycles, p.violations)
+                for p in (on, off, with_rule, without)
+            ],
+            title=f"Design-choice ablations: {args.benchmark}",
+        )
+    )
+    if off.violations:
+        print(
+            f"\nNote: 'dirty off' produced {off.violations} atomicity "
+            "violations — it is broken hardware, shown for the ablation only."
+        )
+    return 0
+
+
+def _cmd_save_scripts(args: argparse.Namespace) -> int:
+    workload = get_workload(args.benchmark, args.txns)
+    scripts = workload.build(args.cores, args.seed)
+    save_scripts(
+        scripts, args.path,
+        metadata={"benchmark": args.benchmark, "seed": args.seed,
+                  "txns_per_core": args.txns},
+    )
+    print(f"wrote {args.path} ({sum(cs.n_txns for cs in scripts)} transactions)")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    scripts = load_scripts(args.path)
+    results = {}
+    for scheme in ALL_SCHEMES if args.all_schemes else (
+        DetectionScheme.ASF_BASELINE, DetectionScheme.SUBBLOCK,
+        DetectionScheme.PERFECT,
+    ):
+        cfg = default_system(scheme, args.subblocks)
+        results[scheme.value] = run_scripts(
+            scripts, cfg, args.seed, workload_name=args.path,
+            check_atomicity=args.check,
+        )
+    base = results["asf"]
+    print(
+        format_table(
+            _RESULT_HEADERS,
+            _result_rows(results, base),
+            title=f"replay of {args.path}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-asf",
+        description=(
+            "ASF-style HTM simulator with speculative sub-blocking conflict "
+            "detection (IPDPSW 2013 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the Table III benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+
+    def common(p, bench=True):
+        if bench:
+            p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+        p.add_argument("--txns", type=int, default=200)
+        p.add_argument("--seed", type=int, default=1)
+
+    p_run = sub.add_parser("run", help="run one benchmark on all systems")
+    common(p_run)
+    p_run.add_argument("--subblocks", type=int, default=4)
+    p_run.add_argument("--check", action="store_true",
+                       help="enable the atomicity checker")
+    p_run.add_argument("--all-schemes", action="store_true",
+                       help="include the coherence-decoupling comparator")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_suite = sub.add_parser("suite", help="regenerate every table and figure")
+    common(p_suite, bench=False)
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_ovh = sub.add_parser("overhead", help="Section IV-E hardware cost model")
+    p_ovh.add_argument("--subblocks", type=int, default=4)
+    p_ovh.set_defaults(func=_cmd_overhead)
+
+    p_sweep = sub.add_parser("sweep", help="closed-loop sub-block sweep")
+    common(p_sweep)
+    p_sweep.add_argument("--counts", default="1,2,4,8,16")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_abl = sub.add_parser("ablate", help="dirty-state / forced-WAW ablations")
+    common(p_abl)
+    p_abl.set_defaults(func=_cmd_ablate)
+
+    p_save = sub.add_parser("save-scripts", help="compile + serialize a program")
+    common(p_save)
+    p_save.add_argument("path")
+    p_save.add_argument("--cores", type=int, default=8)
+    p_save.set_defaults(func=_cmd_save_scripts)
+
+    p_replay = sub.add_parser("replay", help="simulate a serialized program")
+    p_replay.add_argument("path")
+    p_replay.add_argument("--seed", type=int, default=1)
+    p_replay.add_argument("--subblocks", type=int, default=4)
+    p_replay.add_argument("--check", action="store_true")
+    p_replay.add_argument("--all-schemes", action="store_true")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

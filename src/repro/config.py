@@ -1,0 +1,275 @@
+"""System configuration (the paper's Table II) and HTM policy knobs.
+
+:class:`SystemConfig` fully describes a simulated machine: core count,
+cache geometry, latency model, the conflict-detection scheme under test and
+its parameters.  Everything the engine does is a pure function of
+``(SystemConfig, Workload, seed)``.
+
+The defaults reproduce Table II of the paper::
+
+    Processors   8 AMD Opteron 2.2 GHz out-of-order cores
+    L1 DCache    64 KB, 64 B lines, 2-way, 3 cycles load-to-use
+    Private L2   512 KB, 16-way, 15 cycles
+    Private L3   2 MB, 16-way, 50 cycles
+    Main memory  2048 MB, 210 cycles
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "CacheConfig",
+    "ConflictResolution",
+    "DetectionScheme",
+    "HtmConfig",
+    "LatencyConfig",
+    "SystemConfig",
+    "TABLE2_DESCRIPTION",
+    "default_system",
+]
+
+
+class ConflictResolution(enum.Enum):
+    """Who aborts when a probe conflicts with a running transaction.
+
+    * ``REQUESTER_WINS`` — ASF's policy (the paper: "the earlier
+      conflicting transaction will be aborted"): the probed victim dies,
+      the requester proceeds.
+    * ``OLDER_WINS`` — age-based: if the victim started earlier, the
+      *requester* aborts instead (classic livelock-avoidance policy;
+      offered as a design-space ablation).
+    """
+
+    REQUESTER_WINS = "requester_wins"
+    OLDER_WINS = "older_wins"
+
+
+class DetectionScheme(enum.Enum):
+    """Which conflict detector the HTM uses.
+
+    * ``ASF_BASELINE`` — line-granular SR/SW bits (the paper's baseline).
+    * ``SUBBLOCK``     — the paper's contribution: per-sub-block SPEC/WR
+      state with dirty handling (Section IV).
+    * ``PERFECT``      — byte-granular detection, zero false conflicts (the
+      paper's ideal upper bound).
+    * ``DECOUPLED``    — the Section II related work (SpMT/DPTM-style
+      coherence decoupling): WAR false conflicts tolerated via lazy
+      commit-time validation; RAW/WAW handled like the baseline.
+    """
+
+    ASF_BASELINE = "asf"
+    SUBBLOCK = "subblock"
+    PERFECT = "perfect"
+    DECOUPLED = "decoupled"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_size: int
+    associativity: int
+    load_to_use_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0 or (self.line_size & (self.line_size - 1)) != 0:
+            raise ConfigError(f"line size must be a power of two, got {self.line_size}")
+        if self.size_bytes % (self.line_size * self.associativity) != 0:
+            raise ConfigError(
+                f"cache of {self.size_bytes} B cannot be organised as "
+                f"{self.associativity}-way with {self.line_size} B lines"
+            )
+        if self.load_to_use_cycles < 0:
+            raise ConfigError("latency must be non-negative")
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyConfig:
+    """Load-to-use latencies in core cycles (Table II) plus derived costs.
+
+    ``cache_to_cache`` is the cost of servicing a miss from a remote L1 via
+    the coherence fabric; PTLsim models it near the L3 latency, we follow.
+    ``non_mem_op`` is the cost charged per non-memory work unit between
+    accesses (the three-wide core retires several instructions per cycle;
+    workloads express computation directly in cycles).
+    """
+
+    l1_hit: int = 3
+    l2_hit: int = 15
+    l3_hit: int = 50
+    memory: int = 210
+    cache_to_cache: int = 60
+    non_mem_op: int = 1
+    commit_overhead: int = 6
+    abort_overhead: int = 20
+    txn_begin_overhead: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "l1_hit",
+            "l2_hit",
+            "l3_hit",
+            "memory",
+            "cache_to_cache",
+            "non_mem_op",
+            "commit_overhead",
+            "abort_overhead",
+            "txn_begin_overhead",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"latency {name} must be non-negative")
+        if not self.l1_hit <= self.l2_hit <= self.l3_hit <= self.memory:
+            raise ConfigError("latencies must be monotone up the hierarchy")
+
+
+@dataclass(frozen=True, slots=True)
+class HtmConfig:
+    """HTM policy parameters.
+
+    ``n_subblocks`` only matters for ``DetectionScheme.SUBBLOCK``; the paper
+    evaluates {2, 4, 8, 16} and defaults to 4.  ``dirty_state_enabled``
+    exists for the ablation of Section IV-C — disabling it reintroduces the
+    Figure 6 atomicity hazard, which the checker then detects.
+    """
+
+    scheme: DetectionScheme = DetectionScheme.ASF_BASELINE
+    n_subblocks: int = 4
+    dirty_state_enabled: bool = True
+    # Ablation knob for the Section IV-D-2 rule: abort a remote
+    # speculative writer on any invalidating probe to its line, even
+    # without sub-block overlap (True = the implementable hardware; False
+    # = idealised, quantifies what the accepted WAW false conflicts cost).
+    forced_waw_abort: bool = True
+    resolution: "ConflictResolution" = None  # type: ignore[assignment]
+    backoff_base_cycles: int = 64
+    backoff_cap_cycles: int = 8192
+    backoff_jitter: float = 0.5
+    max_retries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.resolution is None:
+            object.__setattr__(
+                self, "resolution", ConflictResolution.REQUESTER_WINS
+            )
+        if self.n_subblocks <= 0:
+            raise ConfigError(f"n_subblocks must be positive, got {self.n_subblocks}")
+        if self.backoff_base_cycles <= 0:
+            raise ConfigError("backoff base must be positive")
+        if self.backoff_cap_cycles < self.backoff_base_cycles:
+            raise ConfigError("backoff cap must be >= base")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigError("backoff jitter must be in [0, 1]")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigError("max_retries must be None or >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Complete description of a simulated machine + HTM scheme."""
+
+    n_cores: int = 8
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=64 * 1024, line_size=64, associativity=2, load_to_use_cycles=3
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=512 * 1024, line_size=64, associativity=16, load_to_use_cycles=15
+        )
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=2 * 1024 * 1024,
+            line_size=64,
+            associativity=16,
+            load_to_use_cycles=50,
+        )
+    )
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    htm: HtmConfig = field(default_factory=HtmConfig)
+    track_values: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigError(f"n_cores must be positive, got {self.n_cores}")
+        if not (self.l1.line_size == self.l2.line_size == self.l3.line_size):
+            raise ConfigError("all cache levels must share one line size")
+        if self.htm.scheme is DetectionScheme.SUBBLOCK:
+            if self.l1.line_size % self.htm.n_subblocks != 0:
+                raise ConfigError(
+                    f"{self.l1.line_size} B line cannot hold "
+                    f"{self.htm.n_subblocks} equal sub-blocks"
+                )
+
+    @property
+    def line_size(self) -> int:
+        return self.l1.line_size
+
+    @property
+    def subblock_size(self) -> int:
+        """Bytes per sub-block under the configured scheme (line size for
+        the baseline, one byte conceptually for the perfect system)."""
+        if self.htm.scheme is DetectionScheme.SUBBLOCK:
+            return self.line_size // self.htm.n_subblocks
+        if self.htm.scheme is DetectionScheme.PERFECT:
+            return 1
+        return self.line_size
+
+    def with_scheme(
+        self, scheme: DetectionScheme, n_subblocks: int | None = None
+    ) -> "SystemConfig":
+        """A copy of this config running a different detector (same machine)."""
+        htm = replace(
+            self.htm,
+            scheme=scheme,
+            n_subblocks=self.htm.n_subblocks if n_subblocks is None else n_subblocks,
+        )
+        return replace(self, htm=htm)
+
+    def describe(self) -> str:
+        """Human-readable machine description (regenerates Table II)."""
+        lines = [
+            f"Processors      {self.n_cores} out-of-order cores",
+            f"L1 DCache       {self.l1.size_bytes // 1024}KB, {self.l1.line_size}B lines, "
+            f"{self.l1.associativity}-way, {self.l1.load_to_use_cycles} cycles load-to-use",
+            f"Private L2      {self.l2.size_bytes // 1024}KB, {self.l2.associativity}-way, "
+            f"{self.l2.load_to_use_cycles} cycles load-to-use",
+            f"Private L3      {self.l3.size_bytes // 1024 // 1024}MB, {self.l3.associativity}-way, "
+            f"{self.l3.load_to_use_cycles} cycles load-to-use",
+            f"Main memory     {self.latency.memory} cycles load-to-use",
+            f"HTM scheme      {self.htm.scheme.value}"
+            + (
+                f" ({self.htm.n_subblocks} sub-blocks of {self.subblock_size}B)"
+                if self.htm.scheme is DetectionScheme.SUBBLOCK
+                else ""
+            ),
+        ]
+        return "\n".join(lines)
+
+
+TABLE2_DESCRIPTION = SystemConfig().describe()
+"""The default machine, rendered — used by the Table II benchmark."""
+
+
+def default_system(
+    scheme: DetectionScheme = DetectionScheme.ASF_BASELINE,
+    n_subblocks: int = 4,
+    **overrides,
+) -> SystemConfig:
+    """The paper's Table II machine with the requested detection scheme."""
+    cfg = SystemConfig(**overrides)
+    return cfg.with_scheme(scheme, n_subblocks)

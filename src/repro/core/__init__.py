@@ -1,0 +1,43 @@
+"""The paper's contribution: speculative sub-blocking conflict detection.
+
+Sub-blocking divides each 64-byte cache line into N equal sub-blocks and
+keeps the two-bit Table I state per sub-block::
+
+    SPEC WR   state
+    0    0    Non-speculative
+    0    1    Dirty              (remote transaction wrote it; data unreliable)
+    1    0    Speculative Read   (S-RD)
+    1    1    Speculative Write  (S-WR)
+
+Conflicts are then detected at sub-block granularity while the MOESI
+protocol itself is untouched — only a few piggy-back bits ride on existing
+data responses.  See :mod:`repro.core.subblock` for the detector,
+:mod:`repro.core.subblock_state` for the encoding/transition functions,
+:mod:`repro.core.perfect` for the idealised zero-false-conflict upper
+bound, and :mod:`repro.core.overhead` for the Section IV-E hardware cost
+model.
+"""
+
+from repro.core.decoupled import CoherenceDecouplingDetector
+from repro.core.overhead import OverheadModel
+from repro.core.perfect import PerfectDetector
+from repro.core.piggyback import PiggybackCodec
+from repro.core.subblock import SubblockDetector
+from repro.core.subblock_state import (
+    SubblockState,
+    TABLE1_ROWS,
+    decode_state,
+    encode_state,
+)
+
+__all__ = [
+    "CoherenceDecouplingDetector",
+    "OverheadModel",
+    "PerfectDetector",
+    "PiggybackCodec",
+    "SubblockDetector",
+    "SubblockState",
+    "TABLE1_ROWS",
+    "decode_state",
+    "encode_state",
+]

@@ -1,0 +1,67 @@
+"""Coherence-decoupling detector — the related work the paper critiques.
+
+Section II discusses two prior false-conflict mitigations, Porter et
+al.'s SpMT speculation and Tabba et al.'s DPTM (building on Huh et al.'s
+*coherence decoupling*): **whenever a cache line containing read data is
+invalidated, speculate that there is no true conflict and keep running;
+validate by value comparison later** (at commit for DPTM).
+
+The paper's two criticisms, which this implementation lets us measure:
+
+1. "They can only handle false conflicts caused by write-after-read cache
+   lines … read-after-write false conflicts also have quite a significant
+   portion" — a load probing a speculatively *written* line still aborts
+   the writer at line granularity here, exactly like baseline ASF.
+2. "Their techniques impose lazy conflict detection … may break the
+   original system's design philosophy and result in performance loss" —
+   a genuinely conflicting reader here runs to its commit point before
+   the validation abort, wasting the whole transaction.
+
+Mechanics in this model:
+
+* an invalidating probe hitting a line the victim has only speculatively
+  **read** is tolerated: no abort, the copy is invalidated, and the
+  speculative read bits are retained (they mark the transaction as
+  needing commit validation);
+* at commit, every observed word is re-checked against committed memory —
+  our unique-token versioning makes this exact (DPTM compares values;
+  token equality is the conservative version of that, see DESIGN.md);
+* a mismatch aborts at commit time (``AbortCause.VALIDATION``).
+
+Everything else (SW conflicts, non-invalidating probes) is baseline ASF.
+"""
+
+from __future__ import annotations
+
+from repro.htm.detector import AsfBaselineDetector, ProbeCheck
+from repro.htm.specstate import SpecLineState
+
+__all__ = ["CoherenceDecouplingDetector"]
+
+
+class CoherenceDecouplingDetector(AsfBaselineDetector):
+    """DPTM-style WAR tolerance with commit-time value validation."""
+
+    name = "decoupled"
+
+    #: The machine validates this detector's transactions at commit.
+    requires_commit_validation = True
+
+    def check_probe(
+        self, st: SpecLineState, probe_mask: int, invalidating: bool
+    ) -> ProbeCheck:
+        if invalidating:
+            if st.sw:
+                # Speculatively written data would be lost: abort (same
+                # rationale as the sub-blocking scheme's forced WAW).
+                return ProbeCheck(conflict=True)
+            # Read-only speculative state: speculate no true conflict and
+            # defer to commit-time validation.
+            return ProbeCheck(conflict=False)
+        return ProbeCheck(conflict=st.sw)
+
+    def retains_on_invalidate(self, st: SpecLineState) -> bool:
+        # Keep the SR marking on the invalidated line so later probes and
+        # statistics still see the speculation (mirrors the "unsafe line"
+        # marking of the SpMT scheme).
+        return st.sr

@@ -1,0 +1,79 @@
+"""Hardware-overhead model (paper Section IV-E).
+
+Cost of the sub-blocking extension relative to baseline ASF:
+
+* baseline ASF already spends 2 bits per L1 line (SR + SW);
+* sub-blocking spends 2 bits per sub-block, i.e. ``2N`` per line;
+* the *extra* cost is therefore ``2(N - 1)`` bits per line;
+* each load data response additionally carries N piggy-back status bits.
+
+For the paper's configuration (64 KB L1, 64 B lines, N = 4) the extra
+state is 6 bits x 1024 lines = 0.75 KB, i.e. 1.17% of the L1 data array —
+the numbers the Section IV-E text quotes and the overhead tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+
+__all__ = ["OverheadModel"]
+
+_BASELINE_BITS_PER_LINE = 2  # ASF's SR + SW
+
+
+@dataclass(frozen=True, slots=True)
+class OverheadModel:
+    """Bit/area accounting for N sub-blocks over a given L1 geometry."""
+
+    l1: CacheConfig
+    n_subblocks: int
+
+    def __post_init__(self) -> None:
+        if self.n_subblocks <= 0 or self.l1.line_size % self.n_subblocks:
+            raise ConfigError(
+                f"{self.l1.line_size}-byte line cannot hold "
+                f"{self.n_subblocks} equal sub-blocks"
+            )
+
+    @property
+    def bits_per_line(self) -> int:
+        """Total speculative-state bits per line under sub-blocking."""
+        return 2 * self.n_subblocks
+
+    @property
+    def extra_bits_per_line(self) -> int:
+        """Additional bits per line relative to baseline ASF."""
+        return self.bits_per_line - _BASELINE_BITS_PER_LINE
+
+    @property
+    def extra_state_bytes(self) -> float:
+        """Total additional state across the L1, in bytes."""
+        return self.extra_bits_per_line * self.l1.n_lines / 8
+
+    @property
+    def extra_state_ratio(self) -> float:
+        """Additional state relative to the L1 data array capacity."""
+        return self.extra_state_bytes / self.l1.size_bytes
+
+    @property
+    def piggyback_bits_per_response(self) -> int:
+        """Status bits added to each load data response."""
+        return self.n_subblocks
+
+    @property
+    def piggyback_payload_ratio(self) -> float:
+        """Piggy-back bits relative to the line data payload."""
+        return self.piggyback_bits_per_response / (self.l1.line_size * 8)
+
+    def describe(self) -> str:
+        return (
+            f"N={self.n_subblocks}: {self.bits_per_line} state bits/line "
+            f"(+{self.extra_bits_per_line} vs ASF), "
+            f"{self.extra_state_bytes / 1024:.2f} KB extra "
+            f"({self.extra_state_ratio * 100:.2f}% of L1), "
+            f"{self.piggyback_bits_per_response} piggy-back bits/response "
+            f"({self.piggyback_payload_ratio * 100:.3f}% of payload)"
+        )

@@ -1,0 +1,69 @@
+"""Piggy-back bit codec.
+
+The sub-blocking scheme extends *messages*, not the protocol: the data
+response of a non-invalidating probe carries one extra bit per sub-block —
+set when the responder holds that sub-block in S-WR.  This module packs and
+unpacks those bits and accounts for the extra message payload (used by the
+Section IV-E overhead discussion: four status bits against a 64-byte data
+payload is "almost negligible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.bitops import iter_set_bits
+
+__all__ = ["PiggybackCodec"]
+
+
+@dataclass(frozen=True, slots=True)
+class PiggybackCodec:
+    """Packs per-sub-block S-WR flags into a response payload."""
+
+    n_subblocks: int
+
+    def __post_init__(self) -> None:
+        if self.n_subblocks <= 0:
+            raise ConfigError(f"n_subblocks must be positive, got {self.n_subblocks}")
+
+    @property
+    def extra_bits(self) -> int:
+        """Status bits added to each load data response."""
+        return self.n_subblocks
+
+    def pack(self, swr_flags: list[bool]) -> int:
+        """Pack per-sub-block flags into the wire bitmap."""
+        if len(swr_flags) != self.n_subblocks:
+            raise ConfigError(
+                f"expected {self.n_subblocks} flags, got {len(swr_flags)}"
+            )
+        bits = 0
+        for j, flag in enumerate(swr_flags):
+            if flag:
+                bits |= 1 << j
+        return bits
+
+    def unpack(self, bits: int) -> list[bool]:
+        """Unpack the wire bitmap into per-sub-block flags."""
+        if bits < 0 or bits >= (1 << self.n_subblocks):
+            raise ConfigError(f"piggy-back bitmap {bits:#x} out of range")
+        return [(bits >> j) & 1 == 1 for j in range(self.n_subblocks)]
+
+    def merge(self, *bitmaps: int) -> int:
+        """Union of bitmaps from multiple responders."""
+        out = 0
+        for b in bitmaps:
+            if b < 0 or b >= (1 << self.n_subblocks):
+                raise ConfigError(f"piggy-back bitmap {b:#x} out of range")
+            out |= b
+        return out
+
+    def marked_subblocks(self, bits: int) -> list[int]:
+        """Indices of sub-blocks flagged in a bitmap."""
+        return list(iter_set_bits(bits))
+
+    def response_overhead_ratio(self, line_size: int) -> float:
+        """Extra payload relative to the data transfer (Section IV-E)."""
+        return self.extra_bits / (line_size * 8)

@@ -1,0 +1,162 @@
+"""The speculative sub-blocking conflict detector (paper Section IV).
+
+Design recap:
+
+* each line carries N sub-blocks with the Table I (SPEC, WR) state;
+* **load miss** — the non-invalidating probe's data response piggy-backs
+  the responder's S-WR sub-block bitmap; the requester marks those
+  sub-blocks **Dirty** (data present but unreliable);
+* **load/store hit on a Dirty sub-block** — treated as an L1 miss: a fresh
+  probe goes out (aborting the remote writer if its transaction is still
+  running), the refill clears the Dirty state;
+* **store** — the invalidating probe conflicts when it overlaps a remote
+  S-RD/S-WR sub-block; additionally, a remote line holding *any* S-WR
+  sub-block must abort even without overlap, because invalidation would
+  discard its speculative data (the accepted, measured-≈0% WAW false
+  conflict);
+* lines invalidated by a non-conflicting store (false WAR) retain their
+  speculative bits and keep participating in conflict checks;
+* commit/abort gang-clears the owner's bits; Dirty bits other cores hold
+  are cleared lazily when next touched.
+
+The detector is pure policy over :class:`SpecLineState` bit vectors; all
+orchestration (probes, fills, aborts) is in :class:`repro.htm.machine.HtmMachine`.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.htm.detector import ConflictDetector, ProbeCheck
+from repro.htm.specstate import SpecLineState
+from repro.util.bitops import reduce_mask
+
+__all__ = ["SubblockDetector"]
+
+
+class SubblockDetector(ConflictDetector):
+    """Sub-block-granularity conflict detection with dirty-state handling."""
+
+    name = "subblock"
+
+    def __init__(
+        self,
+        line_size: int = 64,
+        n_subblocks: int = 4,
+        dirty_state_enabled: bool = True,
+        forced_waw_abort: bool = True,
+    ) -> None:
+        if n_subblocks <= 0 or line_size % n_subblocks:
+            raise ConfigError(
+                f"{line_size}-byte line cannot hold {n_subblocks} equal sub-blocks"
+            )
+        self.line_size = line_size
+        self.n_subblocks = n_subblocks
+        self.subblock_size = line_size // n_subblocks
+        self.dirty_state_enabled = dirty_state_enabled
+        self.forced_waw_abort = forced_waw_abort
+        self.name = f"subblock{n_subblocks}"
+        # Byte-mask -> sub-block-mask memo; workloads reuse a small set of
+        # field footprints, so this collapses the per-access reduction to a
+        # dict hit.
+        self._reduce_cache: dict[int, int] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def subblocks(self, byte_mask: int) -> int:
+        """Sub-block bitmap covered by a byte mask (memoised)."""
+        sub = self._reduce_cache.get(byte_mask)
+        if sub is None:
+            sub = reduce_mask(byte_mask, self.line_size, self.n_subblocks)
+            self._reduce_cache[byte_mask] = sub
+        return sub
+
+    # -- footprint recording --------------------------------------------------
+
+    def _record_read_bits(self, st: SpecLineState, mask: int) -> None:
+        sub = self.subblocks(mask)
+        swr = st.spec_bits & st.wr_bits
+        st.spec_bits |= sub
+        # Touched sub-blocks become S-RD unless already S-WR; untouched
+        # sub-blocks keep their WR bit (S-WR elsewhere, Dirty elsewhere).
+        st.wr_bits = (st.wr_bits & ~sub) | (swr & sub)
+
+    def _record_write_bits(self, st: SpecLineState, mask: int) -> None:
+        sub = self.subblocks(mask)
+        st.spec_bits |= sub
+        st.wr_bits |= sub
+
+    # -- probe checking ------------------------------------------------------
+
+    def check_probe(
+        self, st: SpecLineState, probe_mask: int, invalidating: bool
+    ) -> ProbeCheck:
+        sub = self.subblocks(probe_mask)
+        swr = st.spec_bits & st.wr_bits
+        if invalidating:
+            if sub & st.spec_bits:
+                return ProbeCheck(conflict=True)
+            if self.forced_waw_abort and swr:
+                # Invalidation would discard speculative data: abort even
+                # though the sub-blocks do not overlap (Section IV-D-2).
+                return ProbeCheck(conflict=True, forced_waw=True)
+            return ProbeCheck(conflict=False)
+        return ProbeCheck(conflict=bool(sub & swr))
+
+    # -- dirty machinery ---------------------------------------------------------
+
+    def dirty_hit(self, st: SpecLineState, mask: int) -> bool:
+        if not self.dirty_state_enabled:
+            return False
+        return bool(self.subblocks(mask) & st.dirty_bits)
+
+    def data_stale(self, st: SpecLineState, mask: int, is_write: bool) -> bool:
+        """Treat a valid hit as a miss (probe + refetch) when the cached
+        data is unreliable.
+
+        * A load whose target sub-block is Dirty (Section IV-C): the data
+          is a remote transaction's speculative value.
+        * A store on a line with *any* Dirty sub-block: gaining M
+          ownership would make this (partially stale) copy eligible to
+          supply data later, so it must be refreshed first.
+        """
+        if not self.dirty_state_enabled:
+            return False
+        if is_write:
+            return bool(st.dirty_bits)
+        return bool(self.subblocks(mask) & st.dirty_bits)
+
+    def rr_hit(self, st: SpecLineState, mask: int) -> bool:
+        """A store into a sub-block a remote transaction holds retained
+        speculative state on: the line may be locally writable (M/E) so no
+        probe would be emitted, yet the paper's scheme requires conflicts
+        to be checked against speculative bits retained on invalidated
+        lines — the forced probe performs that check (the local data is
+        authoritative and stays).
+        """
+        if not self.dirty_state_enabled:
+            return False
+        return bool(self.subblocks(mask) & st.rr_bits)
+
+    def piggyback_mask(self, st: SpecLineState) -> int:
+        if not self.dirty_state_enabled:
+            return 0
+        return st.spec_bits & st.wr_bits
+
+    def apply_fill_piggyback(self, st: SpecLineState, piggy: int) -> None:
+        if not self.dirty_state_enabled:
+            return
+        # Fresh data arrived: recompute Dirty from the current responders'
+        # S-WR bitmaps; our own speculative sub-blocks are never dirty.
+        st.wr_bits = (st.wr_bits & st.spec_bits) | (piggy & ~st.spec_bits)
+
+    def retains_on_invalidate(self, st: SpecLineState) -> bool:
+        # "All the speculative information will still stay inside the
+        # invalidated cache line" — retained whenever speculative bits are
+        # present, so later probes still see them.
+        return st.spec_bits != 0
+
+    # -- queries -------------------------------------------------------------
+
+    def has_spec_write(self, st: SpecLineState) -> bool:
+        return (st.spec_bits & st.wr_bits) != 0

@@ -1,0 +1,125 @@
+"""Table I: the per-sub-block (SPEC, WR) state encoding and transitions.
+
+The detector stores the bits as two parallel N-bit vectors (``spec_bits``,
+``wr_bits``) for speed; this module provides the per-sub-block symbolic
+view used by tests, traces and the Table I regeneration benchmark, plus
+the pure transition functions that define the scheme's behaviour at a
+single sub-block.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProtocolError
+from repro.htm.specstate import SpecLineState
+
+__all__ = [
+    "SubblockState",
+    "TABLE1_ROWS",
+    "decode_state",
+    "encode_state",
+    "on_commit_or_abort",
+    "on_local_read",
+    "on_local_write",
+    "on_piggyback",
+    "states_of",
+]
+
+
+class SubblockState(enum.Enum):
+    """The four Table I states."""
+
+    NON_SPECULATIVE = (0, 0)
+    DIRTY = (0, 1)
+    S_RD = (1, 0)
+    S_WR = (1, 1)
+
+    @property
+    def spec(self) -> int:
+        return self.value[0]
+
+    @property
+    def wr(self) -> int:
+        return self.value[1]
+
+    def __str__(self) -> str:
+        return {
+            SubblockState.NON_SPECULATIVE: "Non-speculate",
+            SubblockState.DIRTY: "Dirty",
+            SubblockState.S_RD: "Speculative Read (S-RD)",
+            SubblockState.S_WR: "Speculative Write (S-WR)",
+        }[self]
+
+
+#: The rows of the paper's Table I, in publication order.
+TABLE1_ROWS: tuple[tuple[int, int, str], ...] = (
+    (0, 0, "Non-speculate"),
+    (0, 1, "Dirty"),
+    (1, 0, "Speculative Read (S-RD)"),
+    (1, 1, "Speculative Write (S-WR)"),
+)
+
+
+def encode_state(state: SubblockState) -> tuple[int, int]:
+    """(SPEC, WR) bit pair for a state."""
+    return state.value
+
+
+def decode_state(spec: int, wr: int) -> SubblockState:
+    """State for a (SPEC, WR) bit pair."""
+    try:
+        return SubblockState((spec, wr))
+    except ValueError:  # pragma: no cover - 2 bits always decode
+        raise ProtocolError(f"invalid sub-block bits SPEC={spec} WR={wr}") from None
+
+
+def states_of(st: SpecLineState, n_subblocks: int) -> list[SubblockState]:
+    """Symbolic per-sub-block view of a line's packed bit vectors."""
+    return [
+        decode_state((st.spec_bits >> j) & 1, (st.wr_bits >> j) & 1)
+        for j in range(n_subblocks)
+    ]
+
+
+# -- single-sub-block transition functions ----------------------------------
+#
+# These are the scheme's definition at one sub-block; the detector applies
+# them vectorised over the whole line.  A local read of a DIRTY sub-block is
+# illegal here on purpose: the machine must have re-probed and refreshed the
+# data first (Section IV-C), after which the state is no longer DIRTY.
+
+
+def on_local_read(state: SubblockState) -> SubblockState:
+    """Speculative load touching the sub-block."""
+    if state is SubblockState.DIRTY:
+        raise ProtocolError("speculative read of a Dirty sub-block without re-probe")
+    if state is SubblockState.S_WR:
+        return SubblockState.S_WR
+    return SubblockState.S_RD
+
+
+def on_local_write(state: SubblockState) -> SubblockState:
+    """Speculative store touching the sub-block."""
+    if state is SubblockState.DIRTY:
+        raise ProtocolError("speculative write of a Dirty sub-block without re-probe")
+    return SubblockState.S_WR
+
+
+def on_piggyback(state: SubblockState) -> SubblockState:
+    """Incoming piggy-back bit: a remote transaction speculatively wrote
+    this sub-block of the line we just fetched."""
+    if state in (SubblockState.S_RD, SubblockState.S_WR):
+        # A remote S-WR overlapping our own speculative state would have
+        # been a conflict at probe time; reaching here means the protocol
+        # was violated upstream.
+        raise ProtocolError("piggy-back bit overlaps local speculative state")
+    return SubblockState.DIRTY
+
+
+def on_commit_or_abort(state: SubblockState) -> SubblockState:
+    """Gang-clear at transaction end: speculative states reset, Dirty
+    (which describes *another* core's transaction) survives."""
+    if state is SubblockState.DIRTY:
+        return SubblockState.DIRTY
+    return SubblockState.NON_SPECULATIVE

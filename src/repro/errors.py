@@ -1,0 +1,54 @@
+"""Exception hierarchy for the simulator.
+
+All errors raised by this package derive from :class:`ReproError` so callers
+can catch simulator problems without masking genuine bugs (``TypeError`` and
+friends still propagate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AtomicityViolation",
+    "ConfigError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent system/workload configuration."""
+
+
+class ProtocolError(ReproError):
+    """A coherence or HTM protocol invariant was violated.
+
+    Raised by internal assertions (e.g. two Modified owners of one line);
+    seeing one of these always indicates a simulator bug, never a property
+    of the simulated workload.
+    """
+
+
+class SimulationError(ReproError):
+    """The engine reached an unrecoverable state (e.g. livelocked core)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator produced an inconsistent access stream."""
+
+
+class AtomicityViolation(ReproError):
+    """The serializability checker observed a non-atomic committed history.
+
+    With the dirty-state mechanism enabled this must never fire; the
+    ablation tests disable dirty handling and assert that it does.
+    """
+
+    def __init__(self, message: str, txn_id: int | None = None) -> None:
+        super().__init__(message)
+        self.txn_id = txn_id

@@ -1,0 +1,48 @@
+"""Hardware-transactional-memory substrate.
+
+This package models the ASF-style HTM the paper builds on:
+
+* :mod:`repro.htm.ops` — the operations a transaction performs,
+* :mod:`repro.htm.txn` — transaction lifecycle and runtime sets,
+* :mod:`repro.htm.conflict` — conflict records and the false/WAR/RAW/WAW
+  classification used throughout the evaluation,
+* :mod:`repro.htm.versioning` — lazy data versioning with unique word
+  tokens (the substrate for the atomicity checker),
+* :mod:`repro.htm.backoff` — the exponential backoff retry manager the
+  authors put in their software library,
+* :mod:`repro.htm.detector` — the conflict-detector interface plus the
+  baseline ASF line-granularity detector,
+* :mod:`repro.htm.machine` — the HTM-enabled multicore memory machine
+  that ties detectors, caches and coherence probes together.
+
+The paper's *contribution* — the speculative sub-blocking detector — lives
+in :mod:`repro.core`.
+"""
+
+from repro.htm.backoff import BackoffManager
+from repro.htm.conflict import ConflictRecord, ConflictType
+from repro.htm.detector import AsfBaselineDetector, ConflictDetector, make_detector
+from repro.htm.machine import HtmMachine
+from repro.htm.ops import OpKind, TxnOp, read_op, work_op, write_op
+from repro.htm.txn import AbortCause, Transaction, TxnStatus
+from repro.htm.versioning import TokenAllocator, VersionTracker
+
+__all__ = [
+    "AbortCause",
+    "AsfBaselineDetector",
+    "BackoffManager",
+    "ConflictDetector",
+    "ConflictRecord",
+    "ConflictType",
+    "HtmMachine",
+    "OpKind",
+    "TokenAllocator",
+    "Transaction",
+    "TxnOp",
+    "TxnStatus",
+    "VersionTracker",
+    "make_detector",
+    "read_op",
+    "work_op",
+    "write_op",
+]

@@ -1,0 +1,45 @@
+"""Exponential backoff for transaction retries.
+
+The paper's methodology section: *"In order to avoid live locks, we also
+introduced a simple exponential backoff manager in the software library,
+which exponentially increases the backoff time according to transaction
+retry times."*  This module is that manager: ``base * 2^(retries-1)``
+cycles, capped, with seeded jitter so symmetric cores do not retry in
+lock-step.
+"""
+
+from __future__ import annotations
+
+from repro.config import HtmConfig
+from repro.util.rng import DeterministicRng
+
+__all__ = ["BackoffManager"]
+
+
+class BackoffManager:
+    """Computes per-retry backoff delays for one core."""
+
+    __slots__ = ("base", "cap", "jitter", "_rng")
+
+    def __init__(self, htm: HtmConfig, rng: DeterministicRng) -> None:
+        self.base = htm.backoff_base_cycles
+        self.cap = htm.backoff_cap_cycles
+        self.jitter = htm.backoff_jitter
+        self._rng = rng
+
+    def delay(self, retries: int) -> int:
+        """Backoff in cycles before attempt number ``retries + 1``.
+
+        ``retries`` counts completed failed attempts (>= 1 when called).
+        The deterministic jitter draws from the manager's own RNG stream,
+        so delays are reproducible for a fixed seed.
+        """
+        if retries <= 0:
+            return 0
+        raw = self.base << min(retries - 1, 30)
+        raw = min(raw, self.cap)
+        if self.jitter > 0.0:
+            lo = 1.0 - self.jitter
+            raw = int(raw * (lo + self._rng.random() * self.jitter * 2))
+            raw = min(max(raw, 1), self.cap * 2)
+        return raw

@@ -1,0 +1,199 @@
+"""Conflict-detector interface and the baseline ASF detector.
+
+A detector is the policy plug-in of :class:`repro.htm.machine.HtmMachine`:
+it decides which probe/speculative-state combinations constitute a
+transactional conflict, and it owns the sub-line bookkeeping (dirty bits,
+piggy-back masks) its scheme needs.  Detectors are stateless across lines —
+all mutable state lives in :class:`repro.htm.specstate.SpecLineState` — so
+one instance serves a whole machine.
+
+The baseline here implements AMD ASF's rules (paper Section IV-A):
+
+* speculative accesses set per-line SR (read) / SW (write) bits;
+* an invalidating probe (remote store) conflicts with SR **or** SW;
+* a non-invalidating probe (remote load) conflicts with SW only;
+* conflicts are resolved requester-wins (the probed transaction aborts).
+
+The paper's sub-blocking detector and the perfect detector live in
+:mod:`repro.core`; :func:`make_detector` builds whichever the config asks
+for.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import NamedTuple
+
+from repro.config import DetectionScheme, SystemConfig
+from repro.htm.specstate import SpecLineState
+
+__all__ = ["AsfBaselineDetector", "ConflictDetector", "ProbeCheck", "make_detector"]
+
+
+class ProbeCheck(NamedTuple):
+    """Outcome of checking one probe against one line's speculative state."""
+
+    conflict: bool
+    forced_waw: bool = False
+
+
+class ConflictDetector(ABC):
+    """Policy interface for conflict detection granularity."""
+
+    #: short scheme identifier used in reports
+    name: str = "abstract"
+
+    #: whether the machine must value-validate the read set at commit
+    #: (lazy schemes like coherence decoupling); eager schemes leave it
+    #: False and commit unconditionally
+    requires_commit_validation: bool = False
+
+    # -- speculative footprint recording ------------------------------------
+
+    def record_read(self, st: SpecLineState, mask: int) -> None:
+        """Record a transactional load's byte mask against line state."""
+        st.read_mask |= mask
+        self._record_read_bits(st, mask)
+
+    def record_write(self, st: SpecLineState, mask: int) -> None:
+        """Record a transactional store's byte mask against line state."""
+        st.write_mask |= mask
+        self._record_write_bits(st, mask)
+
+    @abstractmethod
+    def _record_read_bits(self, st: SpecLineState, mask: int) -> None: ...
+
+    @abstractmethod
+    def _record_write_bits(self, st: SpecLineState, mask: int) -> None: ...
+
+    # -- probe checking ------------------------------------------------------
+
+    @abstractmethod
+    def check_probe(
+        self, st: SpecLineState, probe_mask: int, invalidating: bool
+    ) -> ProbeCheck:
+        """Does this probe conflict with the line's speculative state?"""
+
+    # -- dirty-state machinery (no-ops outside the sub-blocking scheme) ------
+
+    def dirty_hit(self, st: SpecLineState, mask: int) -> bool:
+        """Would this local access touch a Dirty sub-block (forcing a
+        re-probe, Section IV-C)?"""
+        return False
+
+    def data_stale(self, st: SpecLineState, mask: int, is_write: bool) -> bool:
+        """Is the locally cached data unreliable for this access?
+
+        True forces the miss path (probe + refetch).  Baseline ASF never
+        forwards speculative data, so its copies are always reliable; the
+        sub-blocking scheme overrides for Dirty-marked sub-blocks.
+        """
+        return False
+
+    def rr_hit(self, st: SpecLineState, mask: int) -> bool:
+        """Does this store target a sub-block a remote transaction holds
+        retained speculative state on?
+
+        True forces a probe even on a silently writable (M/E) line — the
+        local data stays (it is authoritative); only the conflict check is
+        needed.  See ``SpecLineState.rr_bits``.
+        """
+        return False
+
+    def piggyback_mask(self, st: SpecLineState) -> int:
+        """Responder-side piggy-back bits: speculatively written sub-blocks
+        to be carried on the data response of a non-invalidating probe."""
+        return 0
+
+    def apply_fill_piggyback(self, st: SpecLineState, piggy: int) -> None:
+        """Requester-side: record piggy-backed bits as Dirty after a fill.
+
+        Also clears stale dirty bits — the fill delivered fresh data, so
+        only the sub-blocks the *current* responders report as
+        speculatively written remain unreliable.
+        """
+
+    def retains_on_invalidate(self, st: SpecLineState) -> bool:
+        """Whether speculative state survives a line invalidation (the
+        sub-blocking scheme keeps bits of lines invalidated by false-WAR
+        so later probes can still detect conflicts)."""
+        return False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def clear_spec(self, st: SpecLineState) -> bool:
+        """Gang-clear speculative bits at commit/abort.
+
+        Dirty bits and remote-speculation bits (data/line metadata about
+        *other* cores' transactions) survive.  Returns True when the state
+        is now empty and the side table entry can be dropped.
+        """
+        st.sr = False
+        st.sw = False
+        st.read_mask = 0
+        st.write_mask = 0
+        st.wr_bits &= ~st.spec_bits  # keep dirty, drop S-RD/S-WR
+        st.spec_bits = 0
+        st.owner_txn = -1
+        return st.wr_bits == 0 and st.rr_bits == 0
+
+    def has_spec(self, st: SpecLineState) -> bool:
+        return st.any_spec
+
+    @abstractmethod
+    def has_spec_write(self, st: SpecLineState) -> bool:
+        """Whether the line holds speculatively written (unreplayable) data."""
+
+
+class AsfBaselineDetector(ConflictDetector):
+    """AMD ASF baseline: line-granularity SR/SW bits."""
+
+    name = "asf"
+
+    def __init__(self, line_size: int = 64) -> None:
+        self.line_size = line_size
+
+    def _record_read_bits(self, st: SpecLineState, mask: int) -> None:
+        st.sr = True
+
+    def _record_write_bits(self, st: SpecLineState, mask: int) -> None:
+        st.sw = True
+
+    def check_probe(
+        self, st: SpecLineState, probe_mask: int, invalidating: bool
+    ) -> ProbeCheck:
+        if invalidating:
+            return ProbeCheck(conflict=st.sr or st.sw)
+        return ProbeCheck(conflict=st.sw)
+
+    def has_spec_write(self, st: SpecLineState) -> bool:
+        return st.sw
+
+
+def make_detector(config: SystemConfig) -> ConflictDetector:
+    """Build the detector the configuration asks for.
+
+    Imports :mod:`repro.core` lazily so the substrate package has no
+    import-time dependency on the contribution package.
+    """
+    scheme = config.htm.scheme
+    if scheme is DetectionScheme.ASF_BASELINE:
+        return AsfBaselineDetector(config.line_size)
+    if scheme is DetectionScheme.SUBBLOCK:
+        from repro.core.subblock import SubblockDetector
+
+        return SubblockDetector(
+            line_size=config.line_size,
+            n_subblocks=config.htm.n_subblocks,
+            dirty_state_enabled=config.htm.dirty_state_enabled,
+            forced_waw_abort=config.htm.forced_waw_abort,
+        )
+    if scheme is DetectionScheme.PERFECT:
+        from repro.core.perfect import PerfectDetector
+
+        return PerfectDetector(line_size=config.line_size)
+    if scheme is DetectionScheme.DECOUPLED:
+        from repro.core.decoupled import CoherenceDecouplingDetector
+
+        return CoherenceDecouplingDetector(config.line_size)
+    raise ValueError(f"unknown detection scheme {scheme!r}")  # pragma: no cover

@@ -1,0 +1,66 @@
+"""Transaction operations.
+
+A workload describes each transaction as a fixed list of :class:`TxnOp`
+values — loads, stores and pure-computation gaps.  The list is *replayed
+unchanged on every retry* (transactions are deterministic code), which is
+what lets two detection schemes be compared on identical programs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OpKind", "TxnOp", "read_op", "work_op", "write_op"]
+
+
+class OpKind(enum.Enum):
+    READ = "R"
+    WRITE = "W"
+    WORK = "C"  # pure computation: cycles with no memory traffic
+
+
+@dataclass(frozen=True, slots=True)
+class TxnOp:
+    """One operation inside a transaction.
+
+    ``addr``/``size`` are meaningful for READ/WRITE; ``cycles`` for WORK.
+    """
+
+    kind: OpKind
+    addr: int = 0
+    size: int = 0
+    cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.WORK:
+            if self.cycles <= 0:
+                raise ValueError("WORK op needs positive cycles")
+        else:
+            if self.size <= 0:
+                raise ValueError(f"{self.kind.name} op needs positive size")
+            if self.addr < 0:
+                raise ValueError("negative address")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.kind is not OpKind.WORK
+
+
+def read_op(addr: int, size: int) -> TxnOp:
+    """A transactional load of ``size`` bytes at ``addr``."""
+    return TxnOp(OpKind.READ, addr=addr, size=size)
+
+
+def write_op(addr: int, size: int) -> TxnOp:
+    """A transactional store of ``size`` bytes at ``addr``."""
+    return TxnOp(OpKind.WRITE, addr=addr, size=size)
+
+
+def work_op(cycles: int) -> TxnOp:
+    """Non-memory computation inside the transaction."""
+    return TxnOp(OpKind.WORK, cycles=cycles)

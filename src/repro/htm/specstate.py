@@ -1,0 +1,73 @@
+"""Per-(core, line) speculative state.
+
+One :class:`SpecLineState` instance exists for every line a core currently
+holds speculative or dirty information about.  It is *decoupled from the
+cache's coherence state* — the paper's scheme explicitly checks conflicts
+"for both valid and invalidated cache lines" — so it lives in a per-core
+side table keyed by line address, not inside the cache line.
+
+The structure is a superset of what each scheme uses:
+
+* the baseline ASF detector uses only ``sr``/``sw`` (one speculative-read
+  and one speculative-write bit per line);
+* the sub-blocking detector uses ``spec_bits``/``wr_bits`` (the Table I
+  per-sub-block encoding: SPEC=0,WR=0 non-speculative; 0,1 Dirty; 1,0
+  S-RD; 1,1 S-WR);
+* ``read_mask``/``write_mask`` are byte-granularity ground truth kept by
+  *every* scheme, used only to classify detected conflicts as true or
+  false — they are measurement instrumentation, not architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpecLineState"]
+
+
+@dataclass(slots=True)
+class SpecLineState:
+    line_addr: int
+    owner_txn: int = -1
+    # Ground truth (instrumentation).
+    read_mask: int = 0
+    write_mask: int = 0
+    # Baseline ASF per-line bits.
+    sr: bool = False
+    sw: bool = False
+    # Sub-blocking per-sub-block bit vectors (n-bit ints).
+    spec_bits: int = 0
+    wr_bits: int = 0
+    # Remote-speculation bits: sub-blocks that *other* cores' running
+    # transactions hold speculative state on, snapshotted from probe
+    # responses/fills.  Needed because the scheme retains speculative bits
+    # on lines invalidated by non-conflicting (false-WAR) stores: the
+    # writer then owns the line in M and would store *silently*, so without
+    # this marking a later store to a retained reader's sub-block would
+    # emit no probe and miss a true conflict.  Symmetric to Dirty: line
+    # metadata, surviving commit/abort, forcing a probe when hit.
+    rr_bits: int = 0
+
+    @property
+    def dirty_bits(self) -> int:
+        """Sub-blocks in the Dirty state (SPEC=0, WR=1)."""
+        return self.wr_bits & ~self.spec_bits
+
+    @property
+    def swr_bits(self) -> int:
+        """Sub-blocks in the S-WR state (SPEC=1, WR=1)."""
+        return self.spec_bits & self.wr_bits
+
+    @property
+    def srd_bits(self) -> int:
+        """Sub-blocks in the S-RD state (SPEC=1, WR=0)."""
+        return self.spec_bits & ~self.wr_bits
+
+    @property
+    def any_spec(self) -> bool:
+        """Any speculative (non-dirty) state held by an active transaction."""
+        return self.sr or self.sw or self.spec_bits != 0
+
+    @property
+    def any_dirty(self) -> bool:
+        return self.dirty_bits != 0

@@ -1,0 +1,118 @@
+"""Transaction lifecycle and runtime state.
+
+A :class:`Transaction` is one *attempt* at executing a transaction
+descriptor.  It carries the speculative runtime sets ASF keeps in hardware
+(read/write line sets, the redo log buffered in L1/LSQ) plus the
+bookkeeping the checker and statistics need (observed read tokens,
+start/end cycles, abort cause).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.htm.ops import TxnOp
+
+__all__ = ["AbortCause", "Transaction", "TxnStatus"]
+
+
+class TxnStatus(enum.Enum):
+    RUNNING = "running"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class AbortCause(enum.Enum):
+    """Why an attempt aborted — the paper's Figure 9 discussion separates
+    contention aborts from labyrinth's user aborts."""
+
+    CONFLICT_TRUE = "conflict_true"
+    CONFLICT_FALSE = "conflict_false"
+    CAPACITY = "capacity"
+    USER = "user"
+    VALIDATION = "validation"  # lazy schemes: read set stale at commit
+
+
+@dataclass(slots=True)
+class Transaction:
+    """One attempt at a transaction.
+
+    ``uid`` is globally unique per attempt; ``static_id`` identifies the
+    program transaction so retries can be correlated.
+    """
+
+    uid: int
+    static_id: int
+    core: int
+    ops: tuple[TxnOp, ...]
+    attempt: int
+    start_time: int
+    status: TxnStatus = TxnStatus.RUNNING
+    end_time: int = -1
+    abort_cause: AbortCause | None = None
+    user_abort: bool = False
+
+    # Speculative line sets (line_addr keys).
+    read_lines: set[int] = field(default_factory=set)
+    write_lines: set[int] = field(default_factory=set)
+
+    # Lazy-versioning redo log: word_addr -> token written (last wins).
+    redo: dict[int, int] = field(default_factory=dict)
+
+    # First-read observations for the serializability checker:
+    # word_addr -> token observed (only the first read of each word, and
+    # only when the word was not already in the redo log).
+    observed: dict[int, int] = field(default_factory=dict)
+
+    # Progress pointer into ``ops`` (engine resumes here between events).
+    pc: int = 0
+
+    @property
+    def running(self) -> bool:
+        return self.status is TxnStatus.RUNNING
+
+    @property
+    def footprint_lines(self) -> set[int]:
+        return self.read_lines | self.write_lines
+
+    def note_read(self, line_addr: int) -> None:
+        self.read_lines.add(line_addr)
+
+    def note_write(self, line_addr: int) -> None:
+        self.write_lines.add(line_addr)
+
+    def record_store(self, word_addr: int, token: int) -> None:
+        if not self.running:
+            raise ProtocolError(f"store in {self.status.value} txn {self.uid}")
+        self.redo[word_addr] = token
+
+    def forwarded_value(self, word_addr: int) -> int | None:
+        """Store-to-load forwarding from the redo log (None = not written)."""
+        return self.redo.get(word_addr)
+
+    def observe_read(self, word_addr: int, token: int) -> None:
+        """Record the first observed token per word for the checker."""
+        if word_addr not in self.observed and word_addr not in self.redo:
+            self.observed[word_addr] = token
+
+    def mark_committed(self, time: int) -> None:
+        if not self.running:
+            raise ProtocolError(f"commit of {self.status.value} txn {self.uid}")
+        self.status = TxnStatus.COMMITTED
+        self.end_time = time
+
+    def mark_aborted(self, time: int, cause: AbortCause) -> None:
+        if not self.running:
+            raise ProtocolError(f"abort of {self.status.value} txn {self.uid}")
+        self.status = TxnStatus.ABORTED
+        self.end_time = time
+        self.abort_cause = cause
+
+    @property
+    def wasted_cycles(self) -> int:
+        """Cycles of discarded work for an aborted attempt."""
+        if self.status is not TxnStatus.ABORTED or self.end_time < 0:
+            return 0
+        return self.end_time - self.start_time

@@ -1,0 +1,90 @@
+"""Lazy data versioning with unique word tokens.
+
+ASF buffers speculative stores in the L1/LSQ and only makes them
+architecturally visible at commit (lazy versioning).  To *check* that the
+protocol preserves atomicity — including the Figure 6 dirty-state hazards —
+we model every 32-bit word's value as an opaque **token**:
+
+* token ``0`` is the initial value of all memory;
+* every speculative store allocates a fresh token, remembered with its
+  writing transaction attempt;
+* commit publishes the transaction's redo-log tokens to backing memory.
+
+Because tokens are unique, "which write produced the value this load saw"
+is always answerable, which turns serializability checking into simple
+token comparisons (see :mod:`repro.sim.atomicity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TokenAllocator", "TokenInfo", "VersionTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class TokenInfo:
+    """Provenance of one store token."""
+
+    token: int
+    txn_uid: int
+    word_addr: int
+
+
+class TokenAllocator:
+    """Allocates unique, monotonically increasing store tokens."""
+
+    __slots__ = ("_next", "_info")
+
+    def __init__(self) -> None:
+        self._next = 1  # 0 is the initial-memory token
+        self._info: dict[int, TokenInfo] = {}
+
+    def allocate(self, txn_uid: int, word_addr: int) -> int:
+        token = self._next
+        self._next += 1
+        self._info[token] = TokenInfo(token, txn_uid, word_addr)
+        return token
+
+    def provenance(self, token: int) -> TokenInfo | None:
+        """Provenance of a token; None for the initial token 0."""
+        return self._info.get(token)
+
+    def writer_of(self, token: int) -> int | None:
+        info = self._info.get(token)
+        return None if info is None else info.txn_uid
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+
+class VersionTracker:
+    """Tracks committed/aborted transaction attempts by uid.
+
+    The atomicity checker needs to answer, for any token a committed
+    transaction observed: "was its writer committed, and was it still the
+    latest committed write of that word at my commit?".  This class keeps
+    the committed/aborted sets; the latest-committed-write question is
+    answered by the backing memory image itself (it only ever holds
+    committed tokens).
+    """
+
+    __slots__ = ("committed", "aborted", "commit_order")
+
+    def __init__(self) -> None:
+        self.committed: set[int] = set()
+        self.aborted: set[int] = set()
+        self.commit_order: list[int] = []
+
+    def on_commit(self, txn_uid: int) -> None:
+        self.committed.add(txn_uid)
+        self.commit_order.append(txn_uid)
+
+    def on_abort(self, txn_uid: int) -> None:
+        self.aborted.add(txn_uid)
+
+    def is_committed(self, txn_uid: int) -> bool:
+        return txn_uid in self.committed
+
+    def is_aborted(self, txn_uid: int) -> bool:
+        return txn_uid in self.aborted

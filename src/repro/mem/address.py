@@ -1,0 +1,116 @@
+"""Address arithmetic: lines, offsets, words and sub-blocks.
+
+A single :class:`AddressMap` instance (owned by the memory system) is the
+only place that knows the line size, so every "which line / which byte /
+which sub-block" question is answered consistently across the simulator.
+
+Addresses are plain integers (byte addresses).  Words are 4 bytes — the
+finest data granularity in the evaluated workloads (kmeans uses 32-bit
+fields; everything else uses 64-bit fields, i.e. two words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.bitops import byte_mask, reduce_mask
+
+__all__ = ["AddressMap", "LineChunk", "WORD_SIZE"]
+
+WORD_SIZE = 4
+"""Data/versioning granularity in bytes (32-bit words)."""
+
+
+@dataclass(frozen=True, slots=True)
+class LineChunk:
+    """The portion of one memory access that falls within a single line."""
+
+    line_addr: int
+    offset: int
+    size: int
+
+    @property
+    def mask(self) -> int:
+        """Byte mask of this chunk within its line (line size 64 assumed by
+        callers that pass chunks back to the owning :class:`AddressMap`)."""
+        return ((1 << self.size) - 1) << self.offset
+
+
+class AddressMap:
+    """Line/word/sub-block arithmetic for a fixed line size."""
+
+    __slots__ = ("line_size", "_offset_mask", "words_per_line")
+
+    def __init__(self, line_size: int = 64) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError(f"line size must be a power of two, got {line_size}")
+        if line_size % WORD_SIZE:
+            raise ConfigError(
+                f"line size {line_size} must be a multiple of the {WORD_SIZE}-byte word"
+            )
+        self.line_size = line_size
+        self._offset_mask = line_size - 1
+        self.words_per_line = line_size // WORD_SIZE
+
+    # -- lines ---------------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """Base address of the line containing ``addr``."""
+        return addr & ~self._offset_mask
+
+    def offset(self, addr: int) -> int:
+        """Byte offset of ``addr`` within its line."""
+        return addr & self._offset_mask
+
+    def line_index(self, addr: int) -> int:
+        """Dense line number (used for the Figure 4 per-line histogram)."""
+        return addr >> self._offset_mask.bit_length()
+
+    def split(self, addr: int, size: int) -> list[LineChunk]:
+        """Split an access into per-line chunks (accesses may cross lines)."""
+        if size <= 0:
+            raise ValueError(f"access size must be positive, got {size}")
+        chunks: list[LineChunk] = []
+        end = addr + size
+        while addr < end:
+            base = self.line_addr(addr)
+            off = addr - base
+            take = min(end - addr, self.line_size - off)
+            chunks.append(LineChunk(base, off, take))
+            addr += take
+        return chunks
+
+    def access_mask(self, addr: int, size: int) -> int:
+        """Byte mask of an access that must not cross a line boundary."""
+        off = self.offset(addr)
+        return byte_mask(off, size, self.line_size)
+
+    # -- words ---------------------------------------------------------------
+
+    def word_indices(self, offset: int, size: int) -> range:
+        """Word slots within a line touched by ``[offset, offset+size)``."""
+        first = offset // WORD_SIZE
+        last = (offset + size - 1) // WORD_SIZE
+        return range(first, last + 1)
+
+    def word_addr(self, line_addr: int, word_index: int) -> int:
+        """Global word address (used as the versioning key)."""
+        return line_addr + word_index * WORD_SIZE
+
+    # -- sub-blocks ------------------------------------------------------------
+
+    def subblock_size(self, n_subblocks: int) -> int:
+        if n_subblocks <= 0 or self.line_size % n_subblocks:
+            raise ConfigError(
+                f"{self.line_size}-byte line cannot hold {n_subblocks} equal sub-blocks"
+            )
+        return self.line_size // n_subblocks
+
+    def subblock_mask(self, byte_mask_: int, n_subblocks: int) -> int:
+        """Collapse a byte mask into an ``n_subblocks``-bit sub-block mask."""
+        return reduce_mask(byte_mask_, self.line_size, n_subblocks)
+
+    def subblock_of(self, offset: int, n_subblocks: int) -> int:
+        """Sub-block index containing a byte offset."""
+        return offset // self.subblock_size(n_subblocks)

@@ -1,0 +1,133 @@
+"""The per-core cache hierarchy and backing memory of Table II.
+
+:class:`MemorySystem` owns the mechanical parts of the machine:
+
+* one L1 data cache per core (MOESI state + word-token payloads; the ASF
+  speculative buffer lives here),
+* private, inclusive L2 and L3 presence models used purely for latency,
+* the backing memory — a sparse ``{word_addr: token}`` map holding the
+  *committed* image of every word (lazy versioning: speculative stores
+  never reach it until commit),
+* the Table-II latency calculator.
+
+It deliberately contains **no transactional logic**: the HTM machine
+(:mod:`repro.htm.machine`) drives it and decides when probes conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.errors import ProtocolError
+from repro.mem.address import WORD_SIZE, AddressMap
+from repro.mem.cache import CacheLine, SetAssocCache
+from repro.mem.moesi import MoesiState
+
+__all__ = ["AccessResult", "MemorySystem"]
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Timing outcome of one hierarchy access."""
+
+    latency: int
+    level: str  # "L1" | "L2" | "L3" | "remote" | "memory"
+    hit_l1: bool
+
+
+class MemorySystem:
+    """Caches + memory + latency for one simulated machine."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.amap = AddressMap(config.line_size)
+        self.l1s = [
+            SetAssocCache.from_config(config.l1, name=f"L1[{c}]")
+            for c in range(config.n_cores)
+        ]
+        self.l2s = [
+            SetAssocCache.from_config(config.l2, name=f"L2[{c}]")
+            for c in range(config.n_cores)
+        ]
+        self.l3s = [
+            SetAssocCache.from_config(config.l3, name=f"L3[{c}]")
+            for c in range(config.n_cores)
+        ]
+        # Committed memory image. Words absent from the map hold token 0
+        # (the "initial value" token, distinct from every store token).
+        self.memory: dict[int, int] = {}
+
+    # -- committed memory ---------------------------------------------------
+
+    def mem_read_word(self, word_addr: int) -> int:
+        return self.memory.get(word_addr, 0)
+
+    def mem_write_word(self, word_addr: int, token: int) -> None:
+        if word_addr % WORD_SIZE:
+            raise ProtocolError(f"unaligned word address {word_addr:#x}")
+        self.memory[word_addr] = token
+
+    def mem_read_line(self, line_addr: int) -> list[int]:
+        """Committed snapshot of a whole line (word tokens)."""
+        return [
+            self.memory.get(line_addr + i * WORD_SIZE, 0)
+            for i in range(self.amap.words_per_line)
+        ]
+
+    # -- presence -----------------------------------------------------------
+
+    def l1_line(self, core: int, line_addr: int, touch: bool = False) -> CacheLine | None:
+        return self.l1s[core].lookup(line_addr, touch=touch)
+
+    def valid_holders(self, line_addr: int, exclude: int | None = None) -> list[int]:
+        """Cores whose L1 currently holds a valid copy of the line."""
+        return [
+            c
+            for c in range(self.config.n_cores)
+            if c != exclude and self.l1s[c].contains_valid(line_addr)
+        ]
+
+    # -- latency ------------------------------------------------------------
+
+    def fill_latency(self, core: int, line_addr: int, remote_supplier: bool) -> AccessResult:
+        """Latency of a fill that missed L1.
+
+        A remote cache-to-cache transfer (dirty owner elsewhere) bypasses
+        the local L2/L3 walk; otherwise the private hierarchy answers at
+        the first level holding the line, falling through to memory.
+        """
+        lat = self.config.latency
+        if remote_supplier:
+            return AccessResult(lat.cache_to_cache, "remote", hit_l1=False)
+        if self.l2s[core].contains_valid(line_addr):
+            return AccessResult(lat.l2_hit, "L2", hit_l1=False)
+        if self.l3s[core].contains_valid(line_addr):
+            return AccessResult(lat.l3_hit, "L3", hit_l1=False)
+        return AccessResult(lat.memory, "memory", hit_l1=False)
+
+    def hit_latency(self) -> AccessResult:
+        return AccessResult(self.config.latency.l1_hit, "L1", hit_l1=True)
+
+    # -- lower-level maintenance ---------------------------------------------
+
+    def install_lower_levels(self, core: int, line_addr: int) -> None:
+        """Record presence in the private L2/L3 (inclusive, presence-only).
+
+        Lower levels never pin lines, so fills there cannot be blocked; an
+        eviction simply drops presence (clean model — dirty write-back
+        timing is folded into the memory latency).
+        """
+        for cache in (self.l2s[core], self.l3s[core]):
+            if not cache.contains_valid(line_addr):
+                result = cache.fill(line_addr, MoesiState.SHARED, data=None)
+                if not result.ok:  # pragma: no cover - lower levels never pin
+                    raise ProtocolError(f"{cache.name} fill blocked unexpectedly")
+
+    def moesi_states(self, line_addr: int) -> list[MoesiState]:
+        """Coherence state of the line in every L1 (for invariant checks)."""
+        states = []
+        for c in range(self.config.n_cores):
+            line = self.l1s[c].lookup(line_addr, touch=False)
+            states.append(line.state if line is not None else MoesiState.INVALID)
+        return states

@@ -1,0 +1,224 @@
+"""Event-driven multicore simulation engine.
+
+The engine interleaves per-core programs over one :class:`HtmMachine` with
+a global event queue (a heap of ``(time, seq, core)``).  Each event
+executes one step of a core's state machine:
+
+``GAP → BEGIN → RUN(op*) → COMMIT → GAP → …`` with detours through
+``BACKOFF`` after aborts (remote conflict aborts are noticed at the
+victim's next event — modelling abort-delivery latency — and self-aborts
+immediately).
+
+Determinism: event order is a pure function of ``(config, scripts, seed)``;
+all jitter comes from named :class:`DeterministicRng` sub-streams.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.errors import SimulationError
+from repro.htm.backoff import BackoffManager
+from repro.htm.machine import HtmMachine
+from repro.htm.txn import AbortCause, Transaction, TxnStatus
+from repro.sim.atomicity import AtomicityChecker
+from repro.sim.stats import StatsCollector
+from repro.util.rng import DeterministicRng
+from repro.workloads.base import CoreScript
+
+__all__ = ["SimulationEngine"]
+
+#: Consecutive capacity aborts of one transaction before the engine gives
+#: up — a transaction that deterministically overflows the speculative
+#: buffer can never commit (the paper excluded yada/hmm for this reason).
+MAX_CAPACITY_RETRIES = 25
+
+
+class Phase(enum.Enum):
+    BEGIN = "begin"
+    RUN = "run"
+    NEXT = "next"
+    DONE = "done"
+
+
+@dataclass(slots=True)
+class CoreState:
+    """Engine-side state machine for one core."""
+
+    core: int
+    script: CoreScript
+    backoff: BackoffManager
+    item: int = 0
+    attempt: int = 0
+    capacity_streak: int = 0
+    phase: Phase = Phase.NEXT
+    txn: Transaction | None = None
+    finish_time: int = -1
+    committed: int = 0
+
+
+class SimulationEngine:
+    """Runs per-core scripts to completion on an HTM machine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scripts: list[CoreScript],
+        seed: int = 1,
+        stats: StatsCollector | None = None,
+        check_atomicity: bool = True,
+        record_events: bool = False,
+    ) -> None:
+        if len(scripts) != config.n_cores:
+            raise SimulationError(
+                f"{len(scripts)} scripts for {config.n_cores} cores"
+            )
+        self.config = config
+        self.scripts = scripts
+        self.seed = seed
+        self.stats = stats if stats is not None else StatsCollector(record_events)
+        self.machine = HtmMachine(config, stats=self.stats)
+        self.checker: AtomicityChecker | None = None
+        if check_atomicity:
+            self.checker = AtomicityChecker(
+                tokens=self.machine.tokens, versions=self.machine.versions
+            )
+            self.machine.checker = self.checker
+        rng = DeterministicRng(seed).child("engine")
+        self.cores = [
+            CoreState(
+                core=c,
+                script=scripts[c],
+                backoff=BackoffManager(config.htm, rng.child("backoff", c)),
+            )
+            for c in range(config.n_cores)
+        ]
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, time: int, core: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, core))
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> StatsCollector:
+        """Execute every core's script to completion; returns the stats."""
+        for cs in self.cores:
+            self._schedule(0, cs.core)
+        while self._heap:
+            time, _, core = heapq.heappop(self._heap)
+            if max_cycles is not None and time > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(possible livelock)"
+                )
+            self._step(self.cores[core], time)
+        if self.checker is not None:
+            self.checker.finalize()
+        self.stats.per_core_cycles = [cs.finish_time for cs in self.cores]
+        self.stats.execution_cycles = max(
+            (cs.finish_time for cs in self.cores), default=0
+        )
+        return self.stats
+
+    # -- per-core state machine ------------------------------------------------
+
+    def _step(self, cs: CoreState, now: int) -> None:
+        lat = self.config.latency
+
+        # A remote requester may have aborted our transaction since the
+        # last event; notice it first.
+        if cs.txn is not None and cs.txn.status is TxnStatus.ABORTED:
+            self._after_abort(cs, now, cs.txn.abort_cause)
+            return
+
+        if cs.phase is Phase.NEXT:
+            if cs.item >= cs.script.n_txns:
+                cs.phase = Phase.DONE
+                cs.finish_time = now
+                return
+            gap = cs.script.txns[cs.item].gap_cycles
+            cs.phase = Phase.BEGIN
+            cs.attempt = 0
+            self._schedule(now + gap, cs.core)
+            return
+
+        if cs.phase is Phase.BEGIN:
+            item = cs.script.txns[cs.item]
+            cs.attempt += 1
+            txn = self.machine.new_txn(
+                cs.core, self._static_id(cs), item.ops, cs.attempt, now
+            )
+            self.machine.begin_txn(cs.core, txn)
+            cs.txn = txn
+            cs.phase = Phase.RUN
+            self._schedule(now + lat.txn_begin_overhead, cs.core)
+            return
+
+        if cs.phase is Phase.RUN:
+            txn = cs.txn
+            assert txn is not None
+            item = cs.script.txns[cs.item]
+            if txn.pc >= len(txn.ops):
+                # End of transaction body: user abort or commit.
+                if cs.attempt <= item.user_abort_attempts:
+                    self.machine.abort_self(cs.core, now, AbortCause.USER)
+                    self._after_abort(cs, now, AbortCause.USER)
+                    return
+                done = self.machine.commit(cs.core, now)
+                if done.status is TxnStatus.ABORTED:
+                    # Lazy schemes can fail commit-time validation.
+                    self._after_abort(cs, now, done.abort_cause)
+                    return
+                cs.txn = None
+                cs.committed += 1
+                cs.capacity_streak = 0
+                cs.item += 1
+                cs.phase = Phase.NEXT
+                self._schedule(now + lat.commit_overhead, cs.core)
+                return
+            op = txn.ops[txn.pc]
+            if not op.is_mem:
+                txn.pc += 1
+                self._schedule(now + op.cycles, cs.core)
+                return
+            outcome = self.machine.access(
+                cs.core, op.addr, op.size, op.is_write, now
+            )
+            if outcome.self_abort is not None:
+                self._after_abort(cs, now + outcome.latency, outcome.self_abort)
+                return
+            txn.pc += 1
+            self._schedule(now + max(outcome.latency, 1), cs.core)
+            return
+
+        if cs.phase is Phase.DONE:  # pragma: no cover - never rescheduled
+            return
+
+    def _static_id(self, cs: CoreState) -> int:
+        """Stable program-transaction id across retries."""
+        return cs.core * 1_000_000 + cs.item
+
+    def _after_abort(self, cs: CoreState, now: int, cause: AbortCause | None) -> None:
+        """Transition to backoff and schedule the retry."""
+        cs.txn = None
+        if cause is AbortCause.CAPACITY:
+            cs.capacity_streak += 1
+            if cs.capacity_streak > MAX_CAPACITY_RETRIES:
+                raise SimulationError(
+                    f"core {cs.core} transaction {cs.item} capacity-aborted "
+                    f"{cs.capacity_streak} times — footprint cannot fit the "
+                    f"speculative buffer (cf. the paper excluding yada/hmm)"
+                )
+        else:
+            cs.capacity_streak = 0
+        delay = self.config.latency.abort_overhead + cs.backoff.delay(cs.attempt)
+        self.stats.record_backoff(delay)
+        cs.phase = Phase.BEGIN
+        self._schedule(now + delay, cs.core)

@@ -1,0 +1,143 @@
+"""High-level run API.
+
+:func:`run_workload` executes one workload on one system configuration;
+:func:`compare_systems` runs the same compiled scripts on the paper's three
+systems — baseline ASF, sub-blocking (N=4 by default) and the perfect
+zero-false-conflict bound — exactly the comparison of Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DetectionScheme, SystemConfig, default_system
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import StatsCollector
+from repro.workloads.base import CoreScript, Workload
+
+__all__ = ["RunResult", "compare_systems", "run_workload", "run_scripts"]
+
+
+@dataclass(slots=True)
+class RunResult:
+    """One simulation run and everything needed to interpret it."""
+
+    workload: str
+    scheme: str
+    config: SystemConfig
+    seed: int
+    stats: StatsCollector
+
+    @property
+    def false_rate(self) -> float:
+        return self.stats.conflicts.false_rate
+
+    @property
+    def execution_cycles(self) -> int:
+        return self.stats.execution_cycles
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Execution-time improvement relative to a baseline run
+        (positive = faster), as plotted in Figure 10."""
+        if baseline.execution_cycles == 0:
+            return 0.0
+        return 1.0 - self.execution_cycles / baseline.execution_cycles
+
+    def conflict_reduction_over(self, baseline: "RunResult") -> float:
+        """Overall-conflict reduction relative to a baseline run (Fig. 9)."""
+        base = baseline.stats.conflicts.total
+        if base == 0:
+            return 0.0
+        return 1.0 - self.stats.conflicts.total / base
+
+    def false_reduction_over(self, baseline: "RunResult") -> float:
+        """False-conflict reduction relative to a baseline run."""
+        base = baseline.stats.conflicts.total_false
+        if base == 0:
+            return 0.0
+        return 1.0 - self.stats.conflicts.total_false / base
+
+
+def run_scripts(
+    scripts: list[CoreScript],
+    config: SystemConfig,
+    seed: int,
+    workload_name: str = "custom",
+    check_atomicity: bool = True,
+    record_events: bool = False,
+    max_cycles: int | None = None,
+) -> RunResult:
+    """Run pre-compiled scripts on a configured machine."""
+    engine = SimulationEngine(
+        config,
+        scripts,
+        seed=seed,
+        check_atomicity=check_atomicity,
+        record_events=record_events,
+    )
+    stats = engine.run(max_cycles=max_cycles)
+    return RunResult(
+        workload=workload_name,
+        scheme=engine.machine.detector.name,
+        config=config,
+        seed=seed,
+        stats=stats,
+    )
+
+
+def run_workload(
+    workload: Workload,
+    config: SystemConfig | None = None,
+    seed: int = 1,
+    check_atomicity: bool = True,
+    record_events: bool = False,
+    max_cycles: int | None = None,
+) -> RunResult:
+    """Compile and run a workload on one system."""
+    cfg = config if config is not None else default_system()
+    scripts = workload.build(cfg.n_cores, seed)
+    result = run_scripts(
+        scripts,
+        cfg,
+        seed,
+        workload_name=workload.name,
+        check_atomicity=check_atomicity,
+        record_events=record_events,
+        max_cycles=max_cycles,
+    )
+    return result
+
+
+def compare_systems(
+    workload: Workload,
+    seed: int = 1,
+    n_subblocks: int = 4,
+    config: SystemConfig | None = None,
+    schemes: tuple[DetectionScheme, ...] = (
+        DetectionScheme.ASF_BASELINE,
+        DetectionScheme.SUBBLOCK,
+        DetectionScheme.PERFECT,
+    ),
+    check_atomicity: bool = True,
+    record_events: bool = False,
+) -> dict[str, RunResult]:
+    """Run identical compiled scripts under several detection schemes.
+
+    Keys of the returned dict are scheme values (``"asf"``, ``"subblock"``,
+    ``"perfect"``); the workload is compiled once so every system executes
+    the same program.
+    """
+    base_cfg = config if config is not None else default_system()
+    scripts = workload.build(base_cfg.n_cores, seed)
+    results: dict[str, RunResult] = {}
+    for scheme in schemes:
+        cfg = base_cfg.with_scheme(scheme, n_subblocks)
+        results[scheme.value] = run_scripts(
+            scripts,
+            cfg,
+            seed,
+            workload_name=workload.name,
+            check_atomicity=check_atomicity,
+            record_events=record_events,
+        )
+    return results

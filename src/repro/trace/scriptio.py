@@ -1,0 +1,123 @@
+"""Portable serialization of compiled workload scripts.
+
+Format (versioned, line-oriented JSON for diff-friendliness):
+
+.. code-block:: text
+
+    {"format": "repro-script", "version": 1, "n_cores": 8, ...}   # header
+    {"core": 0, "txns": [[gap, aborts, [["R", addr, size], ...]], ...]}
+    ...one line per core...
+
+Operations are encoded ``["R"|"W", addr, size]`` and ``["C", cycles]``.
+A digest of the op stream lets experiments assert they replayed the exact
+program a result was produced from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.htm.ops import OpKind, TxnOp, read_op, work_op, write_op
+from repro.workloads.base import CoreScript, ScriptedTxn
+
+__all__ = ["load_scripts", "save_scripts", "scripts_digest"]
+
+FORMAT_NAME = "repro-script"
+FORMAT_VERSION = 1
+
+
+def _encode_op(op: TxnOp) -> list:
+    if op.kind is OpKind.WORK:
+        return ["C", op.cycles]
+    return [op.kind.value, op.addr, op.size]
+
+
+def _decode_op(raw: list) -> TxnOp:
+    match raw:
+        case ["R", addr, size]:
+            return read_op(int(addr), int(size))
+        case ["W", addr, size]:
+            return write_op(int(addr), int(size))
+        case ["C", cycles]:
+            return work_op(int(cycles))
+    raise WorkloadError(f"malformed op record: {raw!r}")
+
+
+def save_scripts(
+    scripts: list[CoreScript],
+    path: str | Path,
+    metadata: dict | None = None,
+) -> None:
+    """Write compiled scripts to ``path`` (creates parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "n_cores": len(scripts),
+        "digest": scripts_digest(scripts),
+        "metadata": metadata or {},
+    }
+    with path.open("w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for cs in scripts:
+            row = {
+                "core": cs.core,
+                "txns": [
+                    [t.gap_cycles, t.user_abort_attempts,
+                     [_encode_op(op) for op in t.ops]]
+                    for t in cs.txns
+                ],
+            }
+            fh.write(json.dumps(row) + "\n")
+
+
+def load_scripts(path: str | Path) -> list[CoreScript]:
+    """Load scripts written by :func:`save_scripts`; verifies the digest."""
+    path = Path(path)
+    with path.open() as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != FORMAT_NAME:
+            raise WorkloadError(f"{path}: not a {FORMAT_NAME} file")
+        if header.get("version") != FORMAT_VERSION:
+            raise WorkloadError(
+                f"{path}: unsupported version {header.get('version')}"
+            )
+        scripts: list[CoreScript] = []
+        for line in fh:
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            txns = tuple(
+                ScriptedTxn(
+                    gap_cycles=int(gap),
+                    ops=tuple(_decode_op(op) for op in ops),
+                    user_abort_attempts=int(aborts),
+                )
+                for gap, aborts, ops in row["txns"]
+            )
+            scripts.append(CoreScript(core=int(row["core"]), txns=txns))
+    if len(scripts) != header["n_cores"]:
+        raise WorkloadError(
+            f"{path}: header promises {header['n_cores']} cores, "
+            f"found {len(scripts)}"
+        )
+    digest = scripts_digest(scripts)
+    if digest != header["digest"]:
+        raise WorkloadError(f"{path}: digest mismatch (corrupt or edited)")
+    return scripts
+
+
+def scripts_digest(scripts: list[CoreScript]) -> str:
+    """Stable content digest of a compiled program."""
+    h = hashlib.blake2b(digest_size=16)
+    for cs in scripts:
+        h.update(f"core{cs.core}".encode())
+        for t in cs.txns:
+            h.update(f"|{t.gap_cycles},{t.user_abort_attempts}".encode())
+            for op in t.ops:
+                h.update(f";{_encode_op(op)}".encode())
+    return h.hexdigest()

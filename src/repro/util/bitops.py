@@ -1,0 +1,149 @@
+"""Bit-mask helpers used throughout the simulator.
+
+The speculative footprint of a memory access inside one cache line is
+represented as an integer *byte mask*: bit ``i`` is set when byte ``i`` of
+the line is touched.  Cache lines are 64 bytes in the evaluated machine, so
+masks fit comfortably in a native int, and mask intersection (the heart of
+conflict classification) is a single ``&``.
+
+Sub-block state is represented the same way at a coarser granularity: an
+N-bit mask with one bit per sub-block.  :func:`reduce_mask` converts a byte
+mask into its sub-block mask and :func:`spread_mask` goes the other way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = [
+    "bit_count",
+    "byte_mask",
+    "iter_set_bits",
+    "lowest_set_bit",
+    "mask_covers",
+    "mask_to_ranges",
+    "masks_overlap",
+    "reduce_mask",
+    "spread_mask",
+]
+
+
+def byte_mask(offset: int, size: int, line_size: int = 64) -> int:
+    """Return the byte mask for an access of ``size`` bytes at ``offset``.
+
+    The access must lie entirely within a single line; callers split
+    line-crossing accesses before building masks.
+
+    >>> bin(byte_mask(0, 4))
+    '0b1111'
+    >>> bin(byte_mask(6, 2))
+    '0b11000000'
+    """
+    if size <= 0:
+        raise ValueError(f"access size must be positive, got {size}")
+    if offset < 0 or offset + size > line_size:
+        raise ValueError(
+            f"access [{offset}, {offset + size}) does not fit in a "
+            f"{line_size}-byte line"
+        )
+    return ((1 << size) - 1) << offset
+
+
+def masks_overlap(a: int, b: int) -> bool:
+    """True when two footprints share at least one byte (or sub-block)."""
+    return (a & b) != 0
+
+
+def mask_covers(outer: int, inner: int) -> bool:
+    """True when every bit of ``inner`` is also set in ``outer``."""
+    return (inner & ~outer) == 0
+
+
+def bit_count(mask: int) -> int:
+    """Number of set bits (bytes / sub-blocks touched)."""
+    return mask.bit_count()
+
+
+def lowest_set_bit(mask: int) -> int:
+    """Index of the least significant set bit; -1 for an empty mask."""
+    if mask == 0:
+        return -1
+    return (mask & -mask).bit_length() - 1
+
+
+def iter_set_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits from least to most significant."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def reduce_mask(mask: int, line_size: int, n_blocks: int) -> int:
+    """Collapse a byte mask to an ``n_blocks``-bit sub-block mask.
+
+    Sub-block ``j`` is set when any byte in
+    ``[j * line_size / n_blocks, (j + 1) * line_size / n_blocks)`` is set.
+
+    >>> bin(reduce_mask(0b1111, 64, 4))        # bytes 0..3 -> sub-block 0
+    '0b1'
+    >>> bin(reduce_mask(1 << 63, 64, 4))       # byte 63 -> sub-block 3
+    '0b1000'
+    """
+    if n_blocks <= 0 or line_size % n_blocks != 0:
+        raise ValueError(
+            f"line of {line_size} bytes cannot be split into {n_blocks} sub-blocks"
+        )
+    block_size = line_size // n_blocks
+    block_full = (1 << block_size) - 1
+    out = 0
+    for j in range(n_blocks):
+        if mask & (block_full << (j * block_size)):
+            out |= 1 << j
+    return out
+
+
+def spread_mask(block_mask: int, line_size: int, n_blocks: int) -> int:
+    """Expand a sub-block mask back into the byte mask it covers.
+
+    Inverse-ish of :func:`reduce_mask`: ``spread(reduce(m))`` covers ``m``.
+    """
+    if n_blocks <= 0 or line_size % n_blocks != 0:
+        raise ValueError(
+            f"line of {line_size} bytes cannot be split into {n_blocks} sub-blocks"
+        )
+    block_size = line_size // n_blocks
+    block_full = (1 << block_size) - 1
+    out = 0
+    for j in iter_set_bits(block_mask):
+        if j >= n_blocks:
+            raise ValueError(
+                f"sub-block index {j} out of range for {n_blocks} sub-blocks"
+            )
+        out |= block_full << (j * block_size)
+    return out
+
+
+def mask_to_ranges(mask: int) -> list[tuple[int, int]]:
+    """Decompose a mask into maximal ``(start, length)`` runs of set bits.
+
+    >>> mask_to_ranges(0b1111)
+    [(0, 4)]
+    >>> mask_to_ranges(0b1100_0011)
+    [(0, 2), (6, 2)]
+    """
+    ranges: list[tuple[int, int]] = []
+    bit = 0
+    while mask:
+        if mask & 1:
+            start = bit
+            length = 0
+            while mask & 1:
+                mask >>= 1
+                bit += 1
+                length += 1
+            ranges.append((start, length))
+        else:
+            mask >>= 1
+            bit += 1
+    return ranges

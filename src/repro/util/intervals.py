@@ -1,0 +1,61 @@
+"""Byte-interval helpers.
+
+Mostly a readability layer over raw ``(offset, size)`` tuples: workload
+generators describe record fields as intervals, the memory layer turns them
+into bit masks (:mod:`repro.util.bitops`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ByteInterval", "intervals_overlap", "merge_intervals"]
+
+
+@dataclass(frozen=True, slots=True)
+class ByteInterval:
+    """A half-open byte range ``[start, start + size)``."""
+
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"interval size must be positive, got {self.size}")
+        if self.start < 0:
+            raise ValueError(f"interval start must be >= 0, got {self.start}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.start + self.size
+
+    def overlaps(self, other: "ByteInterval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, other: "ByteInterval") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def shifted(self, delta: int) -> "ByteInterval":
+        return ByteInterval(self.start + delta, self.size)
+
+
+def intervals_overlap(a: ByteInterval, b: ByteInterval) -> bool:
+    """Symmetric overlap test (module-level for functional call sites)."""
+    return a.overlaps(b)
+
+
+def merge_intervals(intervals: list[ByteInterval]) -> list[ByteInterval]:
+    """Coalesce overlapping/adjacent intervals into a minimal sorted list."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals, key=lambda iv: iv.start)
+    merged: list[ByteInterval] = [ordered[0]]
+    for iv in ordered[1:]:
+        last = merged[-1]
+        if iv.start <= last.end:
+            if iv.end > last.end:
+                merged[-1] = ByteInterval(last.start, iv.end - last.start)
+        else:
+            merged.append(iv)
+    return merged

@@ -1,0 +1,120 @@
+"""Deterministic random-number streams.
+
+Every stochastic component of the simulator (workload generators, backoff
+jitter, interleaving noise) draws from its own named sub-stream derived from
+the experiment's master seed.  That way adding randomness to one component
+never perturbs another, and a run is reproducible from ``(seed,)`` alone —
+the property the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+__all__ = ["DeterministicRng", "derive_seed"]
+
+T = TypeVar("T")
+
+
+def derive_seed(master: int, *labels: object) -> int:
+    """Derive a 64-bit child seed from a master seed and a label path.
+
+    Uses BLAKE2b so the mapping is stable across Python versions and
+    processes (``hash()`` is salted per-process and unusable here).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(master)).encode())
+    for label in labels:
+        h.update(b"/")
+        h.update(str(label).encode())
+    return int.from_bytes(h.digest(), "little")
+
+
+class DeterministicRng:
+    """A seeded RNG with the shaped draws used by the workload layer.
+
+    Thin wrapper over :class:`random.Random`; exists so the rest of the code
+    never touches global random state and so common distributions (zipf,
+    bounded geometric) live in one tested place.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._zipf_cache: dict[tuple[int, float], list[float]] = {}
+
+    def child(self, *labels: object) -> "DeterministicRng":
+        """A new independent stream for a named sub-component."""
+        return DeterministicRng(derive_seed(self.seed, *labels))
+
+    # -- primitive draws ---------------------------------------------------
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in ``[lo, hi]`` inclusive."""
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def chance(self, p: float) -> bool:
+        """True with probability ``p``."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self._rng.random() < p
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._rng.sample(seq, k)
+
+    # -- shaped draws ------------------------------------------------------
+
+    def geometric(self, mean: float, cap: int | None = None) -> int:
+        """Geometric draw with the given mean (support starts at 1).
+
+        Used for transaction lengths and inter-transaction gaps.
+        """
+        if mean < 1.0:
+            raise ValueError(f"geometric mean must be >= 1, got {mean}")
+        p = 1.0 / mean
+        if p >= 1.0:
+            return 1
+        u = self._rng.random()
+        n = int(math.log(max(u, 1e-300)) / math.log(1.0 - p)) + 1
+        if cap is not None:
+            n = min(n, cap)
+        return max(1, n)
+
+    def zipf_index(self, n: int, s: float = 1.0) -> int:
+        """Zipf-distributed index in ``[0, n)``.
+
+        Implemented by inverse CDF over the truncated harmonic weights; the
+        CDF is cached per ``(n, s)`` because workloads draw from the same
+        population millions of times.
+        """
+        if n <= 0:
+            raise ValueError("population must be non-empty")
+        key = (n, float(s))
+        cdf = self._zipf_cache.get(key)
+        if cdf is None:
+            weights = [1.0 / ((i + 1) ** s) for i in range(n)]
+            total = sum(weights)
+            acc = 0.0
+            cdf = []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            cdf[-1] = 1.0
+            self._zipf_cache[key] = cdf
+        return bisect.bisect_left(cdf, self._rng.random())

@@ -1,0 +1,86 @@
+"""ASCII rendering for the figure/table harness.
+
+The paper's evaluation artifacts are bar charts and line plots; we
+regenerate them as aligned text tables and series so the benchmark harness
+can print the same rows/series the paper reports without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_series", "format_table", "percent", "spark"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Render a ratio as a percentage string: ``percent(0.564) -> '56.4%'``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a left-aligned ASCII table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def spark(values: Sequence[float]) -> str:
+    """Unicode sparkline for a numeric series (empty-safe)."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 60,
+) -> str:
+    """Render named numeric series as sparklines with min/max annotations.
+
+    Series longer than ``width`` are downsampled by bucket means so the
+    output stays terminal-friendly.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    name_w = max((len(n) for n in series), default=0)
+    for name, values in series.items():
+        vals = list(values)
+        if len(vals) > width:
+            step = len(vals) / width
+            buckets = []
+            for i in range(width):
+                lo_i = int(i * step)
+                hi_i = max(lo_i + 1, int((i + 1) * step))
+                chunk = vals[lo_i:hi_i]
+                buckets.append(sum(chunk) / len(chunk))
+            vals = buckets
+        lo = min(vals) if vals else 0.0
+        hi = max(vals) if vals else 0.0
+        lines.append(f"{name.ljust(name_w)}  {spark(vals)}  [{lo:.3g} .. {hi:.3g}]")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Seeded transactional workload generators.
+
+Each module reproduces the *sharing structure* of one STAMP / RMS-TM
+benchmark from Table III of the paper — field granularity, record layout,
+hot/shared regions, read/write mix, phase behaviour — so the false-conflict
+profile of the original emerges from first principles rather than being
+hard-coded.  See DESIGN.md Section 6 for the per-benchmark rationale.
+
+Use :func:`repro.workloads.registry.get_workload` /
+:func:`repro.workloads.registry.all_workloads` to instantiate them.
+"""
+
+from repro.workloads.base import (
+    CoreScript,
+    ScriptedTxn,
+    Workload,
+    WorkloadInfo,
+)
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    all_workloads,
+    get_workload,
+    workload_table,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CoreScript",
+    "ScriptedTxn",
+    "SyntheticWorkload",
+    "Workload",
+    "WorkloadInfo",
+    "all_workloads",
+    "get_workload",
+    "workload_table",
+]

@@ -1,0 +1,112 @@
+"""Heap-layout model.
+
+False sharing is a property of *data layout*: allocators pack fixed-size
+records contiguously, so records smaller than a cache line share lines
+with their neighbours.  :class:`HeapAllocator` reproduces that: a bump
+allocator over named regions, returning real byte addresses the workload
+generators turn into loads and stores.
+
+Regions are spaced far apart so different data structures never share
+lines (matching separate ``malloc`` arenas / pages), and so Figure 4's
+per-line histograms have readable structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+__all__ = ["FieldRef", "HeapAllocator", "Region"]
+
+#: Spacing between regions (1 MiB): regions never share cache lines.
+REGION_SPACING = 1 << 20
+
+
+@dataclass(frozen=True, slots=True)
+class FieldRef:
+    """A concrete field: address + size, ready to become a load/store."""
+
+    addr: int
+    size: int
+
+
+@dataclass(slots=True)
+class Region:
+    """A named, contiguous allocation arena."""
+
+    name: str
+    base: int
+    cursor: int
+    limit: int
+
+    def alloc(self, size: int, align: int = 1) -> int:
+        if size <= 0:
+            raise WorkloadError(f"allocation of {size} bytes in {self.name}")
+        if align <= 0 or align & (align - 1):
+            raise WorkloadError(f"alignment must be a power of two, got {align}")
+        addr = (self.cursor + align - 1) & ~(align - 1)
+        if addr + size > self.limit:
+            raise WorkloadError(
+                f"region {self.name} exhausted "
+                f"({addr + size - self.base} > {self.limit - self.base} bytes)"
+            )
+        self.cursor = addr + size
+        return addr
+
+    @property
+    def used(self) -> int:
+        return self.cursor - self.base
+
+
+class HeapAllocator:
+    """Named-region bump allocator with record-array helpers."""
+
+    def __init__(self, base: int = REGION_SPACING, line_size: int = 64) -> None:
+        self.line_size = line_size
+        self._next_region_base = base
+        self.regions: dict[str, Region] = {}
+
+    def region(self, name: str) -> Region:
+        """Get or create a named region."""
+        reg = self.regions.get(name)
+        if reg is None:
+            base = self._next_region_base
+            self._next_region_base += REGION_SPACING
+            reg = Region(name=name, base=base, cursor=base, limit=base + REGION_SPACING)
+            self.regions[name] = reg
+        return reg
+
+    def alloc_record_array(
+        self,
+        region_name: str,
+        n_records: int,
+        record_bytes: int,
+        align: int | None = None,
+    ) -> list[int]:
+        """Allocate ``n_records`` contiguous records; returns base addresses.
+
+        With ``record_bytes < line_size`` neighbouring records share lines —
+        the false-sharing substrate.  ``align`` defaults to the record size
+        rounded to a power of two (typical allocator behaviour), so records
+        of 16/32 bytes pack 4/2 to a 64-byte line.
+        """
+        if n_records <= 0:
+            raise WorkloadError("empty record array")
+        if align is None:
+            align = 1
+            while align < min(record_bytes, self.line_size):
+                align <<= 1
+        reg = self.region(region_name)
+        base = reg.alloc(n_records * record_bytes + align, align)
+        return [base + i * record_bytes for i in range(n_records)]
+
+    def field(self, record_addr: int, offset: int, size: int) -> FieldRef:
+        """A field of a record."""
+        if offset < 0 or size <= 0:
+            raise WorkloadError(f"bad field [{offset}, +{size})")
+        return FieldRef(record_addr + offset, size)
+
+    def lines_of(self, addrs: list[int]) -> set[int]:
+        """Distinct line addresses covering the given byte addresses."""
+        return {a & ~(self.line_size - 1) for a in addrs}

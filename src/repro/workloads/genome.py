@@ -1,0 +1,116 @@
+"""genome — gene sequencing (STAMP).
+
+Structure modelled: genome's dominant transactional phase inserts DNA
+segments into a shared chained hash table and then matches overlapping
+segments:
+
+* the bucket array holds 8-byte entries, **eight buckets per line**;
+* an insert transaction *writes* its bucket early (claiming the slot) and
+  then *reads* a probe chain of neighbouring buckets plus shared segment
+  metadata — a long read tail after an early write;
+* the algorithm proceeds in phases; two of them (deduplication and
+  overlap matching) funnel all cores into a narrow key range.
+
+Consequences the generator reproduces:
+
+* **false RAW dominates**: the long post-write window means most probes
+  that hit a writer are loads from other cores' chain walks, usually
+  targeting a *different* bucket on the same line;
+* Figure 3's shape — false conflicts accumulate in two distinct bursts
+  while transaction starts grow linearly — comes from the two contended
+  phases;
+* buckets are 8-byte entries, so 16-byte sub-blocks (N=4) still leave
+  adjacent-bucket false sharing (a "relatively good" but not complete
+  reduction, Figure 8) and 8 sub-blocks eliminate it.
+"""
+
+from __future__ import annotations
+
+from repro.htm.ops import TxnOp, read_op, work_op, write_op
+from repro.util.rng import DeterministicRng
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.base import CoreScript, ScriptedTxn, Workload, WorkloadInfo
+
+__all__ = ["GenomeWorkload"]
+
+BUCKET_BYTES = 8
+
+
+class GenomeWorkload(Workload):
+    """Hash-segment insertion with phase-dependent contention."""
+
+    def __init__(
+        self,
+        txns_per_core: int = 400,
+        n_buckets: int = 4096,
+        chain_length: tuple[int, int] = (3, 8),
+        contended_fraction: float = 0.01,
+        gap_mean: int = 100,
+    ) -> None:
+        super().__init__(txns_per_core)
+        self.n_buckets = n_buckets
+        self.chain_length = chain_length
+        self.contended_fraction = contended_fraction
+        self.gap_mean = gap_mean
+        self.info = WorkloadInfo(
+            name="genome",
+            description="gene sequencing",
+            suite="STAMP",
+            field_bytes=BUCKET_BYTES,
+        )
+
+    # Phase boundaries as fractions of each core's transaction stream:
+    # phases 1/3/5 hash over the whole table, phases 2 and 4 are the
+    # contended dedup/match bursts.
+    _PHASES = ((0.00, 0.30, False), (0.30, 0.45, True), (0.45, 0.75, False),
+               (0.75, 0.90, True), (0.90, 1.00, False))
+
+    def _phase_contended(self, frac: float) -> bool:
+        for lo, hi, contended in self._PHASES:
+            if lo <= frac < hi:
+                return contended
+        return False
+
+    def build(self, n_cores: int, seed: int) -> list[CoreScript]:
+        heap = HeapAllocator()
+        buckets = heap.alloc_record_array("hashtable", self.n_buckets, BUCKET_BYTES)
+        segments = heap.alloc_record_array("segments", 512, 16)
+        n_hot = max(8, int(self.n_buckets * self.contended_fraction))
+        scripts: list[CoreScript] = []
+        for core in range(n_cores):
+            rng = DeterministicRng(seed).child("genome", core)
+            txns = []
+            for i in range(self.txns_per_core):
+                contended = self._phase_contended(i / self.txns_per_core)
+                pool = n_hot if contended else self.n_buckets
+                ops: list[TxnOp] = []
+                # Insert-then-match: check and claim the home bucket right
+                # away, then walk the probe chain and segment metadata.
+                # The early claim leaves a long post-write window, so most
+                # probes that hit this transaction are *loads* from other
+                # cores' chain walks — the paper's RAW dominance for
+                # genome.  Loads never trigger the forced-WAW rule, so
+                # these false conflicts are exactly the ones sub-blocking
+                # eliminates.
+                home = rng.randint(0, pool - 1)
+                ops.append(read_op(buckets[home], BUCKET_BYTES))
+                ops.append(write_op(buckets[home], BUCKET_BYTES))
+                ops.append(work_op(2))
+                for step in range(1, rng.randint(*self.chain_length) + 1):
+                    idx = (home + step) % pool
+                    ops.append(read_op(buckets[idx], BUCKET_BYTES))
+                    ops.append(work_op(2))
+                # Segment metadata reads; a fraction of transactions also
+                # update a hot segment's link field, which overlaps other
+                # walkers' whole-record reads — genome's true conflicts.
+                for _ in range(rng.randint(1, 3)):
+                    seg = segments[rng.zipf_index(64, 0.9)]
+                    ops.append(read_op(seg, 16))
+                if rng.chance(0.25):
+                    seg = segments[rng.zipf_index(64, 0.9)]
+                    ops.append(write_op(seg, 8))
+                gap = rng.geometric(self.gap_mean, cap=self.gap_mean * 8)
+                txns.append(ScriptedTxn(gap_cycles=gap, ops=tuple(ops)))
+            scripts.append(CoreScript(core=core, txns=tuple(txns)))
+        self.validate_scripts(scripts)
+        return scripts

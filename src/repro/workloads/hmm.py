@@ -1,0 +1,83 @@
+"""hmm — hidden-Markov-model training (RMS-TM): the other excluded case.
+
+Like yada, hmm is documented but *not evaluated*: the paper excludes both
+because "their transactions are extremely large and cannot fit into
+baseline ASF hardware".  hmm's transactional region updates whole rows of
+the transition/emission probability matrices — hundreds of contiguous
+cache lines per transaction — so its footprint overflows the speculative
+buffer by sheer volume (contrast yada, which overflows one *set* through
+pathological aliasing).
+
+The generator exists for the capacity-boundary demonstration
+(``examples/capacity_limits.py``) and its tests; it is not registered in
+the Table III registry.
+"""
+
+from __future__ import annotations
+
+from repro.htm.ops import TxnOp, read_op, work_op, write_op
+from repro.util.rng import DeterministicRng
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.base import CoreScript, ScriptedTxn, Workload, WorkloadInfo
+
+__all__ = ["HmmWorkload"]
+
+WORD = 4
+
+
+class HmmWorkload(Workload):
+    """Whole-matrix-row update transactions with huge footprints."""
+
+    def __init__(
+        self,
+        txns_per_core: int = 2,
+        n_states: int = 16,
+        prefix_lines: int = 12,
+        rows_per_txn: int = 12,
+        gap_mean: int = 800,
+    ) -> None:
+        super().__init__(txns_per_core)
+        self.n_states = n_states
+        self.prefix_lines = prefix_lines
+        self.rows_per_txn = rows_per_txn
+        self.gap_mean = gap_mean
+        self.info = WorkloadInfo(
+            name="hmm",
+            description="HMM training (capacity-excluded)",
+            suite="RMS-TM",
+            field_bytes=WORD,
+        )
+
+    def build(self, n_cores: int, seed: int) -> list[CoreScript]:
+        heap = HeapAllocator()
+        # Probability-matrix rows with a power-of-two stride equal to the
+        # L1's set span (32 KB): every row's line k maps to the *same* L1
+        # set — the classic large-matrix aliasing pathology.  A
+        # re-estimation transaction touching the active prefix of a dozen
+        # rows therefore pins a dozen lines per set, far past the ways the
+        # speculative buffer can hold.
+        row_stride = 512 * 64  # n_sets * line_size
+        base = heap.region("transition").base
+        rows = [base + r * row_stride for r in range(self.n_states)]
+        scripts: list[CoreScript] = []
+        for core in range(n_cores):
+            rng = DeterministicRng(seed).child("hmm", core)
+            txns = []
+            for _ in range(self.txns_per_core):
+                ops: list[TxnOp] = []
+                picked = rng.sample(
+                    range(self.n_states), min(self.rows_per_txn, self.n_states)
+                )
+                # Accumulate over the active prefix of each row.
+                for r in picked:
+                    for k in range(self.prefix_lines):
+                        ops.append(read_op(rows[r] + k * 64, WORD))
+                ops.append(work_op(200))
+                # Normalise: write the row heads back.
+                for r in picked[: len(picked) // 2]:
+                    ops.append(write_op(rows[r], WORD))
+                gap = rng.geometric(self.gap_mean, cap=self.gap_mean * 4)
+                txns.append(ScriptedTxn(gap_cycles=gap, ops=tuple(ops)))
+            scripts.append(CoreScript(core=core, txns=tuple(txns)))
+        self.validate_scripts(scripts)
+        return scripts

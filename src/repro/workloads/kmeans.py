@@ -1,0 +1,113 @@
+"""kmeans — K-means clustering (STAMP).
+
+Structure modelled: the transactional kernel accumulates each point into
+its nearest cluster's centroid:
+
+* centroid accumulators are **32-bit floats** — kmeans is the one
+  benchmark with 4-byte data granularity (Figure 5);
+* a cluster's accumulator block is ``n_features`` consecutive words plus a
+  member count; with a small feature count the per-cluster stride is a few
+  words, so *several clusters share each cache line* and, with an odd
+  stride, straddle every sub-block boundary;
+* the cluster population is tiny (tens), so all conflicts concentrate on
+  a handful of lines — Figure 4's "few specific cache lines" histogram.
+
+Consequences the generator reproduces:
+
+* **false RAW dominates** (Figure 2: ≈73% RAW for this group): a
+  transaction loads its cluster's running sums before storing them back,
+  and those loads probe neighbouring-cluster writers;
+* 16-byte and even 8-byte sub-blocks leave residual false sharing between
+  4-byte fields of adjacent clusters; only 16 sub-blocks (4 B) eliminate
+  it (Figure 8: kmeans is the scheme's hardest case);
+* false conflicts accrue linearly in time (Figure 3), since the access
+  pattern is phase-free.
+"""
+
+from __future__ import annotations
+
+from repro.htm.ops import TxnOp, read_op, work_op, write_op
+from repro.util.rng import DeterministicRng
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.base import CoreScript, ScriptedTxn, Workload, WorkloadInfo
+
+__all__ = ["KmeansWorkload"]
+
+WORD = 4
+
+
+class KmeansWorkload(Workload):
+    """Centroid-accumulation transactions over packed float arrays."""
+
+    def __init__(
+        self,
+        txns_per_core: int = 400,
+        n_clusters: int = 64,
+        n_features: int = 3,
+        gap_mean: int = 220,
+    ) -> None:
+        super().__init__(txns_per_core)
+        self.n_clusters = n_clusters
+        self.n_features = n_features
+        self.gap_mean = gap_mean
+        self.info = WorkloadInfo(
+            name="kmeans",
+            description="K-means clustering",
+            suite="STAMP",
+            field_bytes=WORD,
+        )
+
+    def build(self, n_cores: int, seed: int) -> list[CoreScript]:
+        heap = HeapAllocator()
+        # STAMP keeps two packed arrays: new_centers (K x F floats, so the
+        # per-cluster stride is F*4 bytes — 12 B for the default F=3, which
+        # straddles every power-of-two sub-block boundary) and
+        # new_centers_len (K adjacent 4-byte counts).
+        sums_stride = self.n_features * WORD
+        sums_base = heap.region("centroids").alloc(
+            self.n_clusters * sums_stride, align=WORD
+        )
+        lens_base = heap.region("centroids").alloc(self.n_clusters * WORD, align=WORD)
+        # Per-core private point storage (reads that never conflict).
+        point_bases = [
+            heap.region(f"points{c}").alloc(64 * 1024, align=64) for c in range(n_cores)
+        ]
+        scripts: list[CoreScript] = []
+        for core in range(n_cores):
+            rng = DeterministicRng(seed).child("kmeans", core)
+            txns = []
+            for i in range(self.txns_per_core):
+                # Each core's points skew toward a different cluster
+                # neighbourhood (points are partitioned across threads):
+                # hot clusters of neighbouring cores are *adjacent* in the
+                # packed array, so they share lines without sharing words.
+                if rng.chance(0.3):
+                    # Globally popular cluster: genuine same-word sharing.
+                    cluster = rng.zipf_index(2, 1.0)
+                else:
+                    offset = (core * self.n_clusters) // max(n_cores, 1)
+                    cluster = (offset + rng.zipf_index(self.n_clusters, 1.0)) % (
+                        self.n_clusters
+                    )
+                cbase = sums_base + cluster * sums_stride
+                ops: list[TxnOp] = []
+                # Read the point (private, conflict-free).
+                point = point_bases[core] + (i % 512) * self.n_features * WORD
+                ops.append(read_op(point, self.n_features * WORD))
+                ops.append(work_op(4))
+                # Accumulate exactly as STAMP does: one read-add-write per
+                # feature, then the member count.  After the first feature
+                # store the transaction holds S-WR state for the rest of
+                # its body, so other cores' *loads* are what probe it —
+                # the paper's measured RAW dominance for kmeans.
+                for f in range(self.n_features):
+                    ops.append(read_op(cbase + f * WORD, WORD))
+                    ops.append(work_op(2))
+                    ops.append(write_op(cbase + f * WORD, WORD))
+                ops.append(read_op(lens_base + cluster * WORD, WORD))
+                ops.append(write_op(lens_base + cluster * WORD, WORD))
+                gap = rng.geometric(self.gap_mean, cap=self.gap_mean * 8)
+                txns.append(ScriptedTxn(gap_cycles=gap, ops=tuple(ops)))
+            scripts.append(CoreScript(core=core, txns=tuple(txns)))
+        self.validate_scripts(scripts)
+        return scripts

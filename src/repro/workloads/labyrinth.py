@@ -1,0 +1,89 @@
+"""labyrinth — maze routing (STAMP).
+
+Structure modelled: Lee-style path routing.  Each transaction copies a
+region of the shared grid privately, computes a path (a long
+non-transactional-like computation *inside* the transaction), then writes
+the chosen path's cells back to the shared grid:
+
+* grid cells are 8-byte entries over a large grid — collisions between
+  concurrently routed paths are rare, so the absolute number of conflicts
+  is tiny (the paper notes sometimes fewer than 20, making Figure 9's
+  percentage for labyrinth high-variance);
+* most aborts are **user aborts**: post-computation validation discovers
+  another router claimed a cell and the transaction restarts with a new
+  path — modelled by ``user_abort_attempts`` drawn per transaction;
+* the grid-copy reads happen up front and writes trail at the end of a
+  *long* transaction, so the false conflicts that do occur skew RAW
+  (readers probing the writer's freshly claimed cells' lines).
+"""
+
+from __future__ import annotations
+
+from repro.htm.ops import TxnOp, read_op, work_op, write_op
+from repro.util.rng import DeterministicRng
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.base import CoreScript, ScriptedTxn, Workload, WorkloadInfo
+
+__all__ = ["LabyrinthWorkload"]
+
+CELL_BYTES = 8
+
+
+class LabyrinthWorkload(Workload):
+    """Long routing transactions over a shared grid with user aborts."""
+
+    def __init__(
+        self,
+        txns_per_core: int = 50,
+        grid_cells: int = 8192,
+        path_cells: tuple[int, int] = (8, 20),
+        copy_cells: tuple[int, int] = (20, 40),
+        user_abort_prob: float = 0.35,
+        gap_mean: int = 400,
+    ) -> None:
+        super().__init__(txns_per_core)
+        self.grid_cells = grid_cells
+        self.path_cells = path_cells
+        self.copy_cells = copy_cells
+        self.user_abort_prob = user_abort_prob
+        self.gap_mean = gap_mean
+        self.info = WorkloadInfo(
+            name="labyrinth",
+            description="maze routing",
+            suite="STAMP",
+            field_bytes=CELL_BYTES,
+        )
+
+    def build(self, n_cores: int, seed: int) -> list[CoreScript]:
+        heap = HeapAllocator()
+        grid = heap.alloc_record_array("grid", self.grid_cells, CELL_BYTES)
+        scripts: list[CoreScript] = []
+        for core in range(n_cores):
+            rng = DeterministicRng(seed).child("labyrinth", core)
+            txns = []
+            for _ in range(self.txns_per_core):
+                ops: list[TxnOp] = []
+                # Grid copy: read a contiguous window (spatially local).
+                start = rng.randint(0, self.grid_cells - 64)
+                for k in range(rng.randint(*self.copy_cells)):
+                    ops.append(read_op(grid[(start + k) % self.grid_cells], CELL_BYTES))
+                # Path computation: a long in-transaction compute phase.
+                ops.append(work_op(rng.randint(200, 600)))
+                # Write the routed path: scattered cells near the window.
+                for _ in range(rng.randint(*self.path_cells)):
+                    cell = grid[(start + rng.randint(0, 127)) % self.grid_cells]
+                    ops.append(write_op(cell, CELL_BYTES))
+                    ops.append(work_op(2))
+                # Validation failures: geometric number of user retries.
+                aborts = 0
+                while rng.chance(self.user_abort_prob) and aborts < 4:
+                    aborts += 1
+                gap = rng.geometric(self.gap_mean, cap=self.gap_mean * 8)
+                txns.append(
+                    ScriptedTxn(
+                        gap_cycles=gap, ops=tuple(ops), user_abort_attempts=aborts
+                    )
+                )
+            scripts.append(CoreScript(core=core, txns=tuple(txns)))
+        self.validate_scripts(scripts)
+        return scripts

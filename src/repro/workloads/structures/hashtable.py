@@ -1,0 +1,133 @@
+"""A traced chained hash table (genome's segment table shape).
+
+Layout: a bucket array of 8-byte head pointers (eight buckets per cache
+line — the adjacency that causes genome's false sharing) plus 24-byte
+chain nodes (key 8 / value 8 / next 8).
+
+Operations execute the real algorithm and emit the memory operations:
+bucket-head read, chain walks (key + next reads per node), node
+initialisation and head relink on insert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.htm.ops import TxnOp, read_op, write_op
+from repro.workloads.allocator import HeapAllocator
+
+__all__ = ["TracedHashTable"]
+
+HEAD_BYTES = 8
+NODE_BYTES = 24
+NODE_KEY = 0
+NODE_VALUE = 8
+NODE_NEXT = 16
+
+
+@dataclass(slots=True)
+class _ChainNode:
+    addr: int
+    key: int
+    next: "_ChainNode | None" = None
+
+
+class TracedHashTable:
+    """Chained hash table over heap records, emitting address traces."""
+
+    def __init__(
+        self,
+        heap: HeapAllocator,
+        n_buckets: int = 1024,
+        region: str = "hashtable",
+    ) -> None:
+        if n_buckets <= 0:
+            raise WorkloadError("hash table needs buckets")
+        self.n_buckets = n_buckets
+        self._heap = heap
+        self._region = region
+        self.heads_base = heap.region(region).alloc(
+            n_buckets * HEAD_BYTES, align=64
+        )
+        self._chains: list[_ChainNode | None] = [None] * n_buckets
+        self.size = 0
+
+    def _bucket(self, key: int) -> int:
+        # Multiplicative hashing: deterministic, well-spread.
+        return (key * 2654435761) % self.n_buckets
+
+    def _head_addr(self, bucket: int) -> int:
+        return self.heads_base + bucket * HEAD_BYTES
+
+    # -- operations ------------------------------------------------------------
+
+    def lookup(self, key: int) -> tuple[list[TxnOp], bool]:
+        """Search; returns (ops, found)."""
+        ops: list[TxnOp] = []
+        bucket = self._bucket(key)
+        ops.append(read_op(self._head_addr(bucket), 8))
+        node = self._chains[bucket]
+        while node is not None:
+            ops.append(read_op(node.addr + NODE_KEY, 8))
+            if node.key == key:
+                ops.append(read_op(node.addr + NODE_VALUE, 8))
+                return ops, True
+            ops.append(read_op(node.addr + NODE_NEXT, 8))
+            node = node.next
+        return ops, False
+
+    def insert(self, key: int) -> tuple[list[TxnOp], bool]:
+        """Insert-if-absent; returns (ops, inserted).
+
+        Mirrors genome's duplicate-check-then-claim: the chain is walked
+        first (reads) and the claim writes happen at the head.
+        """
+        ops, found = self.lookup(key)
+        if found:
+            return ops, False
+        bucket = self._bucket(key)
+        addr = self._heap.region(self._region).alloc(NODE_BYTES, align=8)
+        node = _ChainNode(addr=addr, key=key, next=self._chains[bucket])
+        # Initialise the node, link it, swing the bucket head.
+        ops.append(write_op(addr + NODE_KEY, 8))
+        ops.append(write_op(addr + NODE_VALUE, 8))
+        ops.append(write_op(addr + NODE_NEXT, 8))
+        ops.append(write_op(self._head_addr(bucket), 8))
+        self._chains[bucket] = node
+        self.size += 1
+        return ops, True
+
+    def update(self, key: int) -> list[TxnOp]:
+        """Lookup + value write; the key must exist."""
+        ops, found = self.lookup(key)
+        if not found:
+            raise WorkloadError(f"update of missing key {key}")
+        # The lookup's last op read the value field; overwrite it.
+        value_read = ops[-1]
+        return ops + [write_op(value_read.addr, 8)]
+
+    # -- invariants -------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        seen: set[int] = set()
+        count = 0
+        for bucket, node in enumerate(self._chains):
+            while node is not None:
+                if self._bucket(node.key) != bucket:
+                    raise WorkloadError("node chained in the wrong bucket")
+                if node.key in seen:
+                    raise WorkloadError("duplicate key in table")
+                seen.add(node.key)
+                count += 1
+                node = node.next
+        if count != self.size:
+            raise WorkloadError("size counter out of sync")
+
+    def keys(self) -> set[int]:
+        out: set[int] = set()
+        for node in self._chains:
+            while node is not None:
+                out.add(node.key)
+                node = node.next
+        return out

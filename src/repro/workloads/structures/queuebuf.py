@@ -1,0 +1,81 @@
+"""A traced bounded FIFO ring (intruder's work-queue shape).
+
+Layout: a descriptor holding head (offset 0) and tail (offset 8) indices,
+padded to one cache line, plus a ring of 8-byte slots packed on lines.
+
+``enqueue``/``dequeue`` emit the real operations: the index
+read-modify-write on the descriptor (the true-sharing hotspot) and the
+slot read/write (the packed array where neighbouring slots falsely
+share).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.htm.ops import TxnOp, read_op, write_op
+from repro.workloads.allocator import HeapAllocator
+
+__all__ = ["TracedFifoQueue"]
+
+SLOT_BYTES = 8
+HEAD_OFF = 0
+TAIL_OFF = 8
+DESCRIPTOR_BYTES = 64  # padded to its own line
+
+
+class TracedFifoQueue:
+    """Bounded ring buffer emitting address traces."""
+
+    def __init__(
+        self, heap: HeapAllocator, capacity: int = 128, region: str = "queue"
+    ) -> None:
+        if capacity <= 0:
+            raise WorkloadError("queue needs capacity")
+        self.capacity = capacity
+        reg = heap.region(region)
+        self.descriptor = reg.alloc(DESCRIPTOR_BYTES, align=64)
+        self.slots_base = reg.alloc(capacity * SLOT_BYTES, align=64)
+        self.head = 0
+        self.tail = 0
+
+    def __len__(self) -> int:
+        return self.tail - self.head
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def _slot_addr(self, index: int) -> int:
+        return self.slots_base + (index % self.capacity) * SLOT_BYTES
+
+    def enqueue(self) -> list[TxnOp]:
+        """Producer: read tail, write the slot, bump tail."""
+        if self.full:
+            raise WorkloadError("enqueue on a full queue")
+        ops: list[TxnOp] = [
+            read_op(self.descriptor + TAIL_OFF, 8),
+            write_op(self._slot_addr(self.tail), SLOT_BYTES),
+            write_op(self.descriptor + TAIL_OFF, 8),
+        ]
+        self.tail += 1
+        return ops
+
+    def dequeue(self) -> list[TxnOp]:
+        """Consumer: read head, read the slot, bump head."""
+        if self.empty:
+            raise WorkloadError("dequeue on an empty queue")
+        ops: list[TxnOp] = [
+            read_op(self.descriptor + HEAD_OFF, 8),
+            read_op(self._slot_addr(self.head), SLOT_BYTES),
+            write_op(self.descriptor + HEAD_OFF, 8),
+        ]
+        self.head += 1
+        return ops
+
+    def check_invariants(self) -> None:
+        if not 0 <= len(self) <= self.capacity:
+            raise WorkloadError("head/tail out of order")

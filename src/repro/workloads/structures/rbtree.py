@@ -1,0 +1,276 @@
+"""A traced red-black tree.
+
+Node layout (32 bytes, two nodes per cache line — vacation's false-sharing
+substrate):
+
+====  =====  =======================================================
+off   size   field
+====  =====  =======================================================
+0     8      key
+8     8      value
+16    8      left pointer (low bit doubles as the node's colour)
+24    8      right pointer
+====  =====  =======================================================
+
+Every operation executes the real algorithm and appends the memory
+operations a compiled implementation would perform to a trace list:
+key/pointer reads along the search path, pointer/colour writes for links,
+recolourings and rotations.  The structural invariants of the very same
+object are hypothesis-tested (see ``tests/workloads/test_structures.py``),
+so the traces come from a *correct* red-black tree, not a sketch of one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.htm.ops import TxnOp, read_op, write_op
+from repro.workloads.allocator import HeapAllocator
+
+__all__ = ["TracedRbTree"]
+
+NODE_BYTES = 32
+KEY_OFF = 0
+VALUE_OFF = 8
+LEFT_OFF = 16
+RIGHT_OFF = 24
+
+RED = False
+BLACK = True
+
+
+@dataclass(slots=True)
+class _Node:
+    addr: int
+    key: int
+    colour: bool = RED
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    parent: "_Node | None" = None
+
+
+@dataclass
+class _Trace:
+    """Accumulates ops for the operation in progress."""
+
+    ops: list[TxnOp] = field(default_factory=list)
+
+    def read(self, addr: int, size: int = 8) -> None:
+        self.ops.append(read_op(addr, size))
+
+    def write(self, addr: int, size: int = 8) -> None:
+        self.ops.append(write_op(addr, size))
+
+
+class TracedRbTree:
+    """Left-leaning-free classic red-black tree emitting address traces."""
+
+    def __init__(self, heap: HeapAllocator, region: str = "rbtree") -> None:
+        self._heap = heap
+        self._region = region
+        self.root: _Node | None = None
+        self.size = 0
+
+    # -- trace helpers -------------------------------------------------------
+
+    def _read_key(self, tr: _Trace, node: _Node) -> None:
+        tr.read(node.addr + KEY_OFF)
+
+    def _read_child(self, tr: _Trace, node: _Node, right: bool) -> None:
+        tr.read(node.addr + (RIGHT_OFF if right else LEFT_OFF))
+
+    def _write_child(self, tr: _Trace, node: _Node, right: bool) -> None:
+        tr.write(node.addr + (RIGHT_OFF if right else LEFT_OFF))
+
+    def _write_colour(self, tr: _Trace, node: _Node) -> None:
+        # The colour bit lives in the left-pointer word.
+        tr.write(node.addr + LEFT_OFF)
+
+    # -- operations ------------------------------------------------------------
+
+    def lookup(self, key: int) -> tuple[list[TxnOp], int | None]:
+        """Search; returns (ops, value-field address or None)."""
+        tr = _Trace()
+        node = self.root
+        while node is not None:
+            self._read_key(tr, node)
+            if key == node.key:
+                tr.read(node.addr + VALUE_OFF)
+                return tr.ops, node.addr + VALUE_OFF
+            right = key > node.key
+            self._read_child(tr, node, right)
+            node = node.right if right else node.left
+        return tr.ops, None
+
+    def update_value(self, key: int) -> list[TxnOp]:
+        """Lookup followed by a value-field write (reservation update)."""
+        ops, value_addr = self.lookup(key)
+        if value_addr is None:
+            raise WorkloadError(f"update of missing key {key}")
+        return ops + [write_op(value_addr, 8)]
+
+    def insert(self, key: int) -> list[TxnOp]:
+        """Standard RB insert with recolouring/rotations, traced."""
+        tr = _Trace()
+        addr = self._heap.region(self._region).alloc(NODE_BYTES, align=NODE_BYTES)
+        fresh = _Node(addr=addr, key=key)
+        # Initialise the new node's fields.
+        tr.write(addr + KEY_OFF)
+        tr.write(addr + VALUE_OFF)
+        tr.write(addr + LEFT_OFF)
+        tr.write(addr + RIGHT_OFF)
+
+        if self.root is None:
+            fresh.colour = BLACK
+            self.root = fresh
+            self.size += 1
+            return tr.ops
+
+        node = self.root
+        while True:
+            self._read_key(tr, node)
+            if key == node.key:
+                # Duplicate: overwrite the value instead.
+                tr.write(node.addr + VALUE_OFF)
+                return tr.ops
+            right = key > node.key
+            self._read_child(tr, node, right)
+            child = node.right if right else node.left
+            if child is None:
+                fresh.parent = node
+                if right:
+                    node.right = fresh
+                else:
+                    node.left = fresh
+                self._write_child(tr, node, right)
+                break
+            node = child
+        self.size += 1
+        self._fix_insert(tr, fresh)
+        return tr.ops
+
+    # -- red-black fix-up --------------------------------------------------------
+
+    def _rotate(self, tr: _Trace, node: _Node, right: bool) -> None:
+        """Rotate ``node`` down; its (left if right-rotation) child rises."""
+        pivot = node.left if right else node.right
+        assert pivot is not None
+        inner = pivot.right if right else pivot.left
+        # Pointer writes: node's child link, pivot's inner link, and the
+        # grandparent's (or root's) link to the risen pivot.
+        if right:
+            node.left = inner
+            self._write_child(tr, node, right=False)
+        else:
+            node.right = inner
+            self._write_child(tr, node, right=True)
+        if inner is not None:
+            inner.parent = node
+        pivot.parent = node.parent
+        if node.parent is None:
+            self.root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+            self._write_child(tr, node.parent, right=False)
+        else:
+            node.parent.right = pivot
+            self._write_child(tr, node.parent, right=True)
+        if right:
+            pivot.right = node
+            self._write_child(tr, pivot, right=True)
+        else:
+            pivot.left = node
+            self._write_child(tr, pivot, right=False)
+        node.parent = pivot
+
+    def _fix_insert(self, tr: _Trace, node: _Node) -> None:
+        while node.parent is not None and node.parent.colour is RED:
+            parent = node.parent
+            grand = parent.parent
+            assert grand is not None  # red parent is never the root
+            uncle = grand.right if parent is grand.left else grand.left
+            if uncle is not None and uncle.colour is RED:
+                parent.colour = BLACK
+                uncle.colour = BLACK
+                grand.colour = RED
+                self._write_colour(tr, parent)
+                self._write_colour(tr, uncle)
+                self._write_colour(tr, grand)
+                node = grand
+                continue
+            if parent is grand.left:
+                if node is parent.right:
+                    self._rotate(tr, parent, right=False)
+                    node, parent = parent, node
+                parent.colour = BLACK
+                grand.colour = RED
+                self._write_colour(tr, parent)
+                self._write_colour(tr, grand)
+                self._rotate(tr, grand, right=True)
+            else:
+                if node is parent.left:
+                    self._rotate(tr, parent, right=True)
+                    node, parent = parent, node
+                parent.colour = BLACK
+                grand.colour = RED
+                self._write_colour(tr, parent)
+                self._write_colour(tr, grand)
+                self._rotate(tr, grand, right=False)
+        assert self.root is not None
+        if self.root.colour is RED:
+            self.root.colour = BLACK
+            self._write_colour(tr, self.root)
+
+    # -- invariant checks (used by the property tests) ----------------------------
+
+    def check_invariants(self) -> int:
+        """Assert BST order + the red-black properties; returns black height."""
+        if self.root is None:
+            return 0
+        if self.root.colour is RED:
+            raise WorkloadError("red root")
+        return self._check(self.root, lo=None, hi=None)
+
+    def _check(self, node: _Node | None, lo: int | None, hi: int | None) -> int:
+        if node is None:
+            return 1
+        if lo is not None and node.key <= lo:
+            raise WorkloadError("BST order violated")
+        if hi is not None and node.key >= hi:
+            raise WorkloadError("BST order violated")
+        if node.colour is RED:
+            for child in (node.left, node.right):
+                if child is not None and child.colour is RED:
+                    raise WorkloadError("red-red violation")
+        left_bh = self._check(node.left, lo, node.key)
+        right_bh = self._check(node.right, node.key, hi)
+        if left_bh != right_bh:
+            raise WorkloadError("black-height mismatch")
+        return left_bh + (1 if node.colour is BLACK else 0)
+
+    def keys(self) -> list[int]:
+        out: list[int] = []
+
+        def walk(node: _Node | None) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            out.append(node.key)
+            walk(node.right)
+
+        walk(self.root)
+        return out
+
+    def node_addrs(self) -> list[int]:
+        out: list[int] = []
+
+        def walk(node: _Node | None) -> None:
+            if node is None:
+                return
+            out.append(node.addr)
+            walk(node.left)
+            walk(node.right)
+
+        walk(self.root)
+        return out

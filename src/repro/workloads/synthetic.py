@@ -1,0 +1,102 @@
+"""Parameterised synthetic transactional workload.
+
+The generic generator behind quick experiments, the quickstart example and
+several unit/property tests.  It models the canonical false-sharing
+situation the paper studies: a pool of fixed-size records packed onto
+cache lines, transactions reading/writing individual fields.
+
+* Two cores touching the *same field* concurrently → true conflict.
+* Two cores touching *different fields on one line* → false conflict.
+
+The knobs choose how often each happens; the ten benchmark generators in
+this package are structured variants of the same idea with
+workload-specific layouts and phase behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.htm.ops import TxnOp, read_op, work_op, write_op
+from repro.util.rng import DeterministicRng
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.base import CoreScript, ScriptedTxn, Workload, WorkloadInfo
+
+__all__ = ["SyntheticWorkload"]
+
+
+class SyntheticWorkload(Workload):
+    """Field-pool workload with tunable sharing structure."""
+
+    def __init__(
+        self,
+        txns_per_core: int = 200,
+        field_bytes: int = 8,
+        record_bytes: int | None = None,
+        n_records: int = 512,
+        reads_per_txn: tuple[int, int] = (3, 8),
+        writes_per_txn: tuple[int, int] = (1, 3),
+        hot_fraction: float = 0.1,
+        zipf_s: float = 0.8,
+        gap_mean: int = 150,
+        work_per_op: int = 2,
+        name: str = "synthetic",
+    ) -> None:
+        super().__init__(txns_per_core)
+        if field_bytes <= 0:
+            raise WorkloadError("field_bytes must be positive")
+        record_bytes = record_bytes if record_bytes is not None else field_bytes
+        if record_bytes < field_bytes:
+            raise WorkloadError("record_bytes must cover the field")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise WorkloadError("hot_fraction must be in [0, 1]")
+        self.field_bytes = field_bytes
+        self.record_bytes = record_bytes
+        self.n_records = n_records
+        self.reads_per_txn = reads_per_txn
+        self.writes_per_txn = writes_per_txn
+        self.hot_fraction = hot_fraction
+        self.zipf_s = zipf_s
+        self.gap_mean = gap_mean
+        self.work_per_op = work_per_op
+        self.info = WorkloadInfo(
+            name=name,
+            description="parameterised field-pool microbenchmark",
+            suite="synthetic",
+            field_bytes=field_bytes,
+        )
+
+    def build(self, n_cores: int, seed: int) -> list[CoreScript]:
+        heap = HeapAllocator()
+        records = heap.alloc_record_array(
+            "pool", self.n_records, self.record_bytes
+        )
+        n_hot = max(1, int(self.n_records * self.hot_fraction))
+        scripts: list[CoreScript] = []
+        for core in range(n_cores):
+            rng = DeterministicRng(seed).child(self.info.name, core)
+            txns: list[ScriptedTxn] = []
+            for _ in range(self.txns_per_core):
+                ops: list[TxnOp] = []
+                n_reads = rng.randint(*self.reads_per_txn)
+                n_writes = rng.randint(*self.writes_per_txn)
+                for _ in range(n_reads):
+                    ops.append(read_op(self._pick(rng, records, n_hot), self.field_bytes))
+                    if self.work_per_op:
+                        ops.append(work_op(self.work_per_op))
+                for _ in range(n_writes):
+                    ops.append(write_op(self._pick(rng, records, n_hot), self.field_bytes))
+                    if self.work_per_op:
+                        ops.append(work_op(self.work_per_op))
+                gap = rng.geometric(max(self.gap_mean, 1), cap=self.gap_mean * 8)
+                txns.append(ScriptedTxn(gap_cycles=gap, ops=tuple(ops)))
+            scripts.append(CoreScript(core=core, txns=tuple(txns)))
+        self.validate_scripts(scripts)
+        return scripts
+
+    def _pick(self, rng: DeterministicRng, records: list[int], n_hot: int) -> int:
+        """Choose a field address: zipf over the hot prefix, uniform tail."""
+        if rng.chance(0.7):
+            idx = rng.zipf_index(n_hot, self.zipf_s)
+        else:
+            idx = rng.randint(0, len(records) - 1)
+        return records[idx]

@@ -1,0 +1,106 @@
+"""vacation-tree — the structure-accurate vacation variant.
+
+Where :class:`repro.workloads.vacation.VacationWorkload` models vacation's
+*sharing statistics*, this variant derives every address from a **real
+red-black tree** (:mod:`repro.workloads.structures.rbtree`): the
+reservation tables are populated by genuine RB inserts (rotations and
+all), and each transaction's operation list is exactly what its lookups
+and updates perform on that tree — root-path sharing, 32-byte nodes two
+to a line, 8-byte field accesses.
+
+The tree layout is snapshotted at build time (reservation tables are
+read-mostly after population; occasional inserts are traced against the
+generation-time state), so per-core scripts remain deterministic and
+replayable.  Not part of the Table III registry — an opt-in
+higher-fidelity variant used by the structure tests and example.
+"""
+
+from __future__ import annotations
+
+from repro.htm.ops import TxnOp, work_op
+from repro.util.rng import DeterministicRng
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.base import CoreScript, ScriptedTxn, Workload, WorkloadInfo
+from repro.workloads.structures.rbtree import TracedRbTree
+
+__all__ = ["VacationTreeWorkload"]
+
+
+class VacationTreeWorkload(Workload):
+    """Reservation transactions over real red-black trees."""
+
+    def __init__(
+        self,
+        txns_per_core: int = 200,
+        n_records: int = 512,
+        n_tables: int = 3,
+        lookups_per_txn: tuple[int, int] = (2, 5),
+        updates_per_txn: tuple[int, int] = (1, 2),
+        insert_prob: float = 0.04,
+        gap_mean: int = 90,
+    ) -> None:
+        super().__init__(txns_per_core)
+        self.n_records = n_records
+        self.n_tables = n_tables
+        self.lookups_per_txn = lookups_per_txn
+        self.updates_per_txn = updates_per_txn
+        self.insert_prob = insert_prob
+        self.gap_mean = gap_mean
+        self.info = WorkloadInfo(
+            name="vacation-tree",
+            description="travel reservations over real red-black trees",
+            suite="synthetic",
+            field_bytes=8,
+        )
+
+    def build(self, n_cores: int, seed: int) -> list[CoreScript]:
+        heap = HeapAllocator()
+        rng = DeterministicRng(seed).child("vacation-tree", "populate")
+        # Populate the reservation tables (cars/rooms/flights) with real
+        # inserts so the node layout — and therefore all false sharing —
+        # is the balanced tree's own.
+        tables: list[TracedRbTree] = []
+        key_space = self.n_records * 8
+        for t in range(self.n_tables):
+            tree = TracedRbTree(heap, region=f"table{t}")
+            keys = rng.sample(range(key_space), self.n_records)
+            for key in keys:
+                tree.insert(key)
+            tree.check_invariants()
+            tables.append(tree)
+        populated_keys = [sorted(tree.keys()) for tree in tables]
+
+        scripts: list[CoreScript] = []
+        next_insert_key = key_space  # fresh keys for traced inserts
+        for core in range(n_cores):
+            core_rng = DeterministicRng(seed).child("vacation-tree", core)
+            txns = []
+            for _ in range(self.txns_per_core):
+                ops: list[TxnOp] = []
+                # Availability lookups across tables.
+                for _ in range(core_rng.randint(*self.lookups_per_txn)):
+                    t = core_rng.randint(0, self.n_tables - 1)
+                    keys = populated_keys[t]
+                    key = keys[core_rng.zipf_index(len(keys), 0.4)]
+                    lookup_ops, _ = tables[t].lookup(key)
+                    ops.extend(lookup_ops)
+                    ops.append(work_op(3))
+                # Reservation updates (value-field writes).
+                for _ in range(core_rng.randint(*self.updates_per_txn)):
+                    t = core_rng.randint(0, self.n_tables - 1)
+                    keys = populated_keys[t]
+                    key = keys[core_rng.randint(0, len(keys) - 1)]
+                    ops.extend(tables[t].update_value(key))
+                # Occasionally a brand-new reservation record: a real,
+                # traced RB insert (the tree mutates; later transactions
+                # see the new layout).
+                if core_rng.chance(self.insert_prob):
+                    t = core_rng.randint(0, self.n_tables - 1)
+                    ops.extend(tables[t].insert(next_insert_key))
+                    next_insert_key += 1
+                    populated_keys[t] = sorted(tables[t].keys())
+                gap = core_rng.geometric(self.gap_mean, cap=self.gap_mean * 8)
+                txns.append(ScriptedTxn(gap_cycles=gap, ops=tuple(ops)))
+            scripts.append(CoreScript(core=core, txns=tuple(txns)))
+        self.validate_scripts(scripts)
+        return scripts

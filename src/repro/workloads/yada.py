@@ -1,0 +1,88 @@
+"""yada — Delaunay mesh refinement (STAMP): the capacity-excluded case.
+
+The paper excludes yada (and hmm) from its evaluation because "their
+transactions are extremely large and cannot fit into baseline ASF
+hardware".  This generator exists to *demonstrate* that boundary rather
+than to be evaluated: its cavity-retriangulation transactions touch more
+same-set cache lines than the L1's ways plus the LSQ/LLB overflow can
+pin, so every attempt capacity-aborts and the engine reports the
+livelock — exactly the behaviour that forced the authors' exclusion.
+
+It is therefore *not* registered in the Table III registry; see
+``examples/capacity_limits.py`` and the capacity tests.
+"""
+
+from __future__ import annotations
+
+from repro.htm.ops import TxnOp, read_op, work_op, write_op
+from repro.util.rng import DeterministicRng
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.base import CoreScript, ScriptedTxn, Workload, WorkloadInfo
+
+__all__ = ["YadaWorkload"]
+
+ELEMENT_BYTES = 64  # one triangle record per cache line (big records)
+
+
+class YadaWorkload(Workload):
+    """Cavity-refinement transactions with oversized footprints."""
+
+    def __init__(
+        self,
+        txns_per_core: int = 4,
+        cavity_elements: int = 24,
+        set_collisions: int = 12,
+        gap_mean: int = 500,
+    ) -> None:
+        super().__init__(txns_per_core)
+        self.cavity_elements = cavity_elements
+        self.set_collisions = set_collisions
+        self.gap_mean = gap_mean
+        self.info = WorkloadInfo(
+            name="yada",
+            description="Delaunay mesh refinement (capacity-excluded)",
+            suite="STAMP",
+            field_bytes=8,
+        )
+
+    def build(self, n_cores: int, seed: int) -> list[CoreScript]:
+        heap = HeapAllocator()
+        # A mesh region per core plus a same-set "bad triangle worklist":
+        # the worklist elements are laid out one L1 set apart, so a cavity
+        # that walks the worklist pins many lines of a single set — the
+        # footprint shape that overflows ASF's speculative buffer.
+        n_sets = 512
+        set_stride = n_sets * 64
+        worklists = [
+            [
+                heap.region(f"worklist{c}").base + k * set_stride
+                for k in range(self.set_collisions)
+            ]
+            for c in range(n_cores)
+        ]
+        meshes = [
+            heap.alloc_record_array(f"mesh{c}", 256, ELEMENT_BYTES)
+            for c in range(n_cores)
+        ]
+        scripts: list[CoreScript] = []
+        for core in range(n_cores):
+            rng = DeterministicRng(seed).child("yada", core)
+            txns = []
+            for _ in range(self.txns_per_core):
+                ops: list[TxnOp] = []
+                # Cavity walk: read a large neighbourhood of elements.
+                start = rng.randint(0, 255 - self.cavity_elements)
+                for k in range(self.cavity_elements):
+                    ops.append(read_op(meshes[core][start + k], 8))
+                # Worklist scan: the same-set lines that overflow the set.
+                for addr in worklists[core]:
+                    ops.append(read_op(addr, 8))
+                ops.append(work_op(100))
+                # Retriangulate: write back a batch of elements.
+                for k in range(self.cavity_elements // 2):
+                    ops.append(write_op(meshes[core][start + k] + 8, 8))
+                gap = rng.geometric(self.gap_mean, cap=self.gap_mean * 4)
+                txns.append(ScriptedTxn(gap_cycles=gap, ops=tuple(ops)))
+            scripts.append(CoreScript(core=core, txns=tuple(txns)))
+        self.validate_scripts(scripts)
+        return scripts

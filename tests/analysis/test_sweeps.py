@@ -1,0 +1,93 @@
+"""Sweep/ablation API tests (small scales; the benchmark harness runs the
+full-size versions)."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    ablation_dirty_state,
+    ablation_forced_waw,
+    sweep_backoff,
+    sweep_cores,
+    sweep_subblocks,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SyntheticWorkload(
+        txns_per_core=25, n_records=96, hot_fraction=0.3, zipf_s=0.5,
+        gap_mean=60,
+    )
+
+
+class TestSubblockSweep:
+    def test_labels_and_schemes(self, workload):
+        points = sweep_subblocks(workload, counts=(1, 4), seed=2)
+        assert [p.label for p in points] == ["N=1", "N=4"]
+        assert points[1].result.scheme == "subblock4"
+
+    def test_one_subblock_equals_baseline_counts(self, workload):
+        """Closed-loop N=1 must equal the baseline run exactly (same
+        conflicts, same cycles): the detectors are equivalent and the
+        engine is deterministic."""
+        from repro.config import default_system
+        from repro.sim.runner import run_workload
+
+        base = run_workload(workload, default_system(), seed=2)
+        [n1] = sweep_subblocks(workload, counts=(1,), seed=2)
+        assert n1.stats.conflicts.total == base.stats.conflicts.total
+        assert n1.stats.execution_cycles == base.stats.execution_cycles
+
+    def test_false_conflicts_shrink_with_granularity(self, workload):
+        points = sweep_subblocks(workload, counts=(1, 16), seed=2)
+        assert (
+            points[1].stats.conflicts.total_false
+            < points[0].stats.conflicts.total_false
+        )
+
+
+class TestCoreSweep:
+    def test_runs_each_machine_size(self, workload):
+        points = sweep_cores(workload, core_counts=(2, 4), seed=2)
+        assert points[0].stats.txn_commits == 2 * 25
+        assert points[1].stats.txn_commits == 4 * 25
+
+
+class TestForcedWawAblation:
+    def test_relaxing_never_adds_conflicts_meaningfully(self, workload):
+        with_rule, without = ablation_forced_waw(workload, seed=2)
+        assert with_rule.label == "forced-WAW on"
+        # The relaxed (idealised) variant has no forced aborts at all.
+        assert without.stats.forced_waw_aborts == 0
+
+
+class TestDirtyAblation:
+    def test_on_variant_clean(self, workload):
+        on, off = ablation_dirty_state(workload, seed=2)
+        assert on.violations == 0
+        assert "BROKEN" in off.label
+
+
+class TestBackoffSweep:
+    def test_all_complete(self, workload):
+        points = sweep_backoff(workload, bases=(16, 256), seed=2)
+        for p in points:
+            assert p.stats.txn_commits == 8 * 25
+
+
+class TestResolutionSweep:
+    def test_both_policies_complete_and_serialize(self, workload):
+        from repro.analysis.sweeps import sweep_resolution
+
+        points = sweep_resolution(workload, seed=2)
+        labels = {p.label for p in points}
+        assert labels == {"requester_wins", "older_wins"}
+        for p in points:
+            assert p.stats.txn_commits == 8 * 25
+
+    def test_policies_actually_differ(self, workload):
+        from repro.analysis.sweeps import sweep_resolution
+
+        req, old = sweep_resolution(workload, seed=2)
+        assert req.stats.summary() != old.stats.summary()

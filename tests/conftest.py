@@ -1,0 +1,115 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.htm.machine import HtmMachine
+from repro.sim.atomicity import AtomicityChecker
+
+
+@pytest.fixture
+def baseline_config():
+    return default_system(DetectionScheme.ASF_BASELINE)
+
+
+@pytest.fixture
+def subblock_config():
+    return default_system(DetectionScheme.SUBBLOCK, n_subblocks=4)
+
+
+@pytest.fixture
+def perfect_config():
+    return default_system(DetectionScheme.PERFECT)
+
+
+def make_machine(config, check: bool = True) -> HtmMachine:
+    """A machine with the atomicity checker wired up (raising)."""
+    machine = HtmMachine(config)
+    if check:
+        machine.checker = AtomicityChecker(
+            tokens=machine.tokens, versions=machine.versions
+        )
+    return machine
+
+
+@pytest.fixture
+def baseline_machine(baseline_config):
+    return make_machine(baseline_config)
+
+
+@pytest.fixture
+def subblock_machine(subblock_config):
+    return make_machine(subblock_config)
+
+
+@pytest.fixture
+def perfect_machine(perfect_config):
+    return make_machine(perfect_config)
+
+
+class TxnDriver:
+    """Scripted multi-core transaction driver for protocol scenarios.
+
+    Wraps an :class:`HtmMachine` with a monotonically advancing clock so
+    tests read like the paper's figures: ``t0 = d.begin(0); d.write(0, A,
+    8); d.read(1, B, 8); d.commit(0)``.
+    """
+
+    def __init__(self, machine: HtmMachine) -> None:
+        self.machine = machine
+        self.clock = 0
+        self._static = 0
+
+    def tick(self, cycles: int = 1) -> None:
+        self.clock += cycles
+
+    def begin(self, core: int):
+        self._static += 1
+        txn = self.machine.new_txn(core, self._static, ops=(), attempt=1, time=self.clock)
+        self.machine.begin_txn(core, txn)
+        self.tick()
+        return txn
+
+    def read(self, core: int, addr: int, size: int = 8):
+        out = self.machine.access(core, addr, size, False, self.clock)
+        self.tick(max(out.latency, 1))
+        return out
+
+    def write(self, core: int, addr: int, size: int = 8):
+        out = self.machine.access(core, addr, size, True, self.clock)
+        self.tick(max(out.latency, 1))
+        return out
+
+    def commit(self, core: int):
+        txn = self.machine.commit(core, self.clock)
+        self.tick()
+        return txn
+
+    def abort(self, core: int, cause=None):
+        from repro.htm.txn import AbortCause
+
+        txn = self.machine.abort_self(
+            core, self.clock, cause if cause is not None else AbortCause.USER
+        )
+        self.tick()
+        return txn
+
+    def txn(self, core: int):
+        return self.machine.active[core]
+
+
+@pytest.fixture
+def baseline_driver(baseline_machine):
+    return TxnDriver(baseline_machine)
+
+
+@pytest.fixture
+def subblock_driver(subblock_machine):
+    return TxnDriver(subblock_machine)
+
+
+@pytest.fixture
+def perfect_driver(perfect_machine):
+    return TxnDriver(perfect_machine)

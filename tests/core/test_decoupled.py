@@ -1,0 +1,194 @@
+"""Coherence-decoupling (DPTM-style) detector tests — the Section II
+related work and the paper's critique of it."""
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.core.decoupled import CoherenceDecouplingDetector
+from repro.htm.specstate import SpecLineState
+from repro.htm.txn import AbortCause, TxnStatus
+from repro.util.bitops import byte_mask
+from tests.conftest import TxnDriver, make_machine
+
+L = 0x50000
+
+
+@pytest.fixture
+def det():
+    return CoherenceDecouplingDetector(64)
+
+
+@pytest.fixture
+def driver():
+    return TxnDriver(make_machine(default_system(DetectionScheme.DECOUPLED)))
+
+
+class TestProbeRules:
+    def test_war_tolerated(self, det):
+        st = SpecLineState(0)
+        det.record_read(st, byte_mask(0, 8))
+        assert not det.check_probe(st, byte_mask(0, 8), invalidating=True).conflict
+
+    def test_raw_still_conflicts(self, det):
+        """The paper's first criticism: RAW-type is not handled."""
+        st = SpecLineState(0)
+        det.record_write(st, byte_mask(0, 8))
+        assert det.check_probe(st, byte_mask(32, 8), invalidating=False).conflict
+
+    def test_written_line_invalidation_conflicts(self, det):
+        st = SpecLineState(0)
+        det.record_write(st, byte_mask(0, 8))
+        assert det.check_probe(st, byte_mask(32, 8), invalidating=True).conflict
+
+    def test_requires_commit_validation(self, det):
+        assert det.requires_commit_validation
+
+    def test_retains_read_state(self, det):
+        st = SpecLineState(0)
+        det.record_read(st, 1)
+        assert det.retains_on_invalidate(st)
+
+
+class TestMachineBehaviour:
+    def test_false_war_tolerated_end_to_end(self, driver):
+        d = driver
+        d.begin(0)
+        d.read(0, L, 8)
+        reader = d.txn(0)
+        d.begin(1)
+        out = d.write(1, L + 32, 8)  # disjoint bytes: tolerated, validated
+        assert out.conflicts == []
+        assert reader.status is TxnStatus.RUNNING
+        d.commit(1)
+        t = d.commit(0)
+        assert t.status is TxnStatus.COMMITTED  # validation passes
+
+    def test_true_war_caught_at_commit(self, driver):
+        """The paper's second criticism: lazy detection — the reader runs
+        to its commit point before discovering the conflict."""
+        d = driver
+        d.begin(0)
+        d.read(0, L, 8)
+        reader = d.txn(0)
+        d.begin(1)
+        d.write(1, L, 8)  # same bytes: genuinely conflicting, tolerated
+        assert reader.status is TxnStatus.RUNNING  # not aborted eagerly!
+        d.commit(1)  # writer publishes a new token
+        t = d.commit(0)  # reader's validation must now fail
+        assert t.status is TxnStatus.ABORTED
+        assert t.abort_cause is AbortCause.VALIDATION
+        assert d.machine.stats.aborts_validation == 1
+
+    def test_true_war_safe_if_reader_commits_first(self, driver):
+        d = driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L, 8)
+        t0 = d.commit(0)  # reader first: serializes before the writer
+        assert t0.status is TxnStatus.COMMITTED
+        t1 = d.commit(1)
+        assert t1.status is TxnStatus.COMMITTED
+
+    def test_false_raw_not_handled(self, driver):
+        """A load to a different part of a speculatively written line
+        still aborts the writer — the missed opportunity sub-blocking
+        exploits."""
+        d = driver
+        d.begin(0)
+        d.write(0, L, 8)
+        writer = d.txn(0)
+        d.begin(1)
+        out = d.read(1, L + 32, 8)
+        assert len(out.conflicts) == 1
+        assert out.conflicts[0].is_false
+        assert writer.status is TxnStatus.ABORTED
+
+    def test_write_skew_caught(self, driver):
+        """Both tolerate each other's WAR; validation must abort one."""
+        d = driver
+        X, Y = L, L + 0x40
+        d.begin(0)
+        d.read(0, X, 8)
+        d.begin(1)
+        d.read(1, Y, 8)
+        d.write(0, Y, 8)  # invalidates 1's read: tolerated
+        d.write(1, X, 8)  # invalidates 0's read: tolerated
+        t0 = d.commit(0)
+        t1 = d.commit(1)
+        outcomes = {t0.status, t1.status}
+        assert TxnStatus.COMMITTED in outcomes
+        assert TxnStatus.ABORTED in outcomes
+
+    def test_serializable_under_checker(self):
+        """Whole-workload run with the checker raising: lazy validation
+        must still produce serializable histories."""
+        from repro.sim.engine import SimulationEngine
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        w = SyntheticWorkload(
+            txns_per_core=40, n_records=48, hot_fraction=0.4, zipf_s=0.9,
+            gap_mean=40,
+        )
+        cfg = default_system(DetectionScheme.DECOUPLED)
+        engine = SimulationEngine(cfg, w.build(8, 6), seed=6, check_atomicity=True)
+        stats = engine.run()
+        assert engine.checker.clean
+        assert stats.txn_commits == 320
+
+
+class TestPaperCritique:
+    """The measurable form of the Section II argument."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        from repro.sim.runner import run_scripts
+        from repro.workloads.registry import get_workload
+
+        out = {}
+        for bench in ("vacation", "genome"):
+            w = get_workload(bench, 60)
+            scripts = w.build(8, 1)
+            rows = {}
+            for scheme in (
+                DetectionScheme.ASF_BASELINE,
+                DetectionScheme.DECOUPLED,
+                DetectionScheme.SUBBLOCK,
+            ):
+                cfg = default_system(scheme, 4)
+                r = run_scripts(scripts, cfg, 1, workload_name=bench,
+                                check_atomicity=False)
+                rows[scheme.value] = r.stats
+            out[bench] = rows
+        return out
+
+    def test_decoupling_eliminates_war_aborts(self, comparison):
+        rows = comparison["vacation"]
+        assert rows["decoupled"].conflicts.false_war < (
+            rows["asf"].conflicts.false_war * 0.3
+        )
+
+    def test_decoupling_leaves_raw_conflicts(self, comparison):
+        """RAW-type false conflicts persist under decoupling but shrink
+        under sub-blocking — 'missing out great opportunities'."""
+        rows = comparison["genome"]
+        assert rows["decoupled"].conflicts.false_raw > (
+            rows["subblock"].conflicts.false_raw * 1.5
+        )
+
+    def test_subblocking_handles_both(self, comparison):
+        rows = comparison["vacation"]
+        assert rows["subblock"].conflicts.false_war < (
+            rows["asf"].conflicts.false_war * 0.3
+        )
+        assert rows["subblock"].conflicts.false_raw <= (
+            rows["asf"].conflicts.false_raw
+        )
+
+    def test_lazy_aborts_waste_whole_transactions(self, comparison):
+        """Validation aborts happen at commit time, after all the work."""
+        for bench in comparison:
+            val = comparison[bench]["decoupled"].aborts_validation
+            if val:
+                wasted = comparison[bench]["decoupled"].wasted_cycles
+                assert wasted > 0

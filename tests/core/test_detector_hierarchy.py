@@ -1,0 +1,103 @@
+"""The detector-hierarchy property, checked with hypothesis.
+
+For identical speculative state and probe:
+
+* **soundness** — a true (byte-overlapping) conflict is flagged by every
+  detector: coarsening never loses overlaps, so sub-blocking cannot miss a
+  conflict the perfect system sees;
+* **monotonicity** — more sub-blocks flag at most as many conflicts:
+  ``perfect ⊆ subblock(16) ⊆ subblock(8) ⊆ subblock(4) ⊆ subblock(2) ⊆
+  baseline`` at the single-probe level.
+
+(The forced-WAW rule is excluded from the monotonicity chain by comparing
+with ``forced_waw_abort=False`` variants; the rule itself is monotone in
+the other direction and is tested separately in the subblock tests.)
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.subblock import SubblockDetector
+from repro.htm.detector import AsfBaselineDetector
+from repro.htm.specstate import SpecLineState
+from repro.util.bitops import byte_mask, masks_overlap
+
+_accesses = st.integers(0, 63).flatmap(
+    lambda off: st.tuples(st.just(off), st.integers(1, 64 - off))
+)
+
+
+def _loaded_state(detector, reads, writes):
+    state = SpecLineState(0)
+    for off, size in reads:
+        detector.record_read(state, byte_mask(off, size))
+    for off, size in writes:
+        detector.record_write(state, byte_mask(off, size))
+    return state
+
+
+_footprints = st.tuples(
+    st.lists(_accesses, max_size=4), st.lists(_accesses, min_size=0, max_size=3)
+)
+
+
+@given(_footprints, _accesses, st.booleans())
+def test_true_conflicts_never_missed(footprint, probe_acc, invalidating):
+    """Soundness: byte overlap => every granularity flags the probe."""
+    reads, writes = footprint
+    probe = byte_mask(*probe_acc)
+    for n in (1, 2, 4, 8, 16, 64):
+        det = SubblockDetector(64, n, forced_waw_abort=False)
+        state = _loaded_state(det, reads, writes)
+        victim = state.write_mask | (state.read_mask if invalidating else 0)
+        if masks_overlap(probe, victim):
+            assert det.check_probe(state, probe, invalidating).conflict, (
+                f"n={n} missed a true conflict"
+            )
+
+
+@given(_footprints, _accesses, st.booleans())
+def test_granularity_monotonicity(footprint, probe_acc, invalidating):
+    """Finer granularity flags a subset of coarser granularity's conflicts."""
+    reads, writes = footprint
+    probe = byte_mask(*probe_acc)
+    previous = None
+    for n in (64, 16, 8, 4, 2, 1):  # fine -> coarse
+        det = SubblockDetector(64, n, forced_waw_abort=False)
+        state = _loaded_state(det, reads, writes)
+        flagged = det.check_probe(state, probe, invalidating).conflict
+        if previous is not None:
+            # once flagged at fine granularity, coarser must flag too
+            assert not (previous and not flagged)
+        previous = flagged
+
+
+@given(_footprints, _accesses, st.booleans())
+def test_one_subblock_equals_baseline(footprint, probe_acc, invalidating):
+    """A single sub-block spanning the line IS the ASF baseline."""
+    reads, writes = footprint
+    probe = byte_mask(*probe_acc)
+
+    coarse = SubblockDetector(64, 1, forced_waw_abort=False)
+    base = AsfBaselineDetector(64)
+    st_coarse = _loaded_state(coarse, reads, writes)
+    st_base = _loaded_state(base, reads, writes)
+
+    assert (
+        coarse.check_probe(st_coarse, probe, invalidating).conflict
+        == base.check_probe(st_base, probe, invalidating).conflict
+    )
+
+
+@given(_footprints, _accesses)
+def test_forced_waw_is_additive(footprint, probe_acc):
+    """Enabling forced-WAW only ever adds conflicts (never removes)."""
+    reads, writes = footprint
+    probe = byte_mask(*probe_acc)
+    for n in (2, 4, 8, 16):
+        plain = SubblockDetector(64, n, forced_waw_abort=False)
+        forced = SubblockDetector(64, n, forced_waw_abort=True)
+        st_plain = _loaded_state(plain, reads, writes)
+        st_forced = _loaded_state(forced, reads, writes)
+        if plain.check_probe(st_plain, probe, True).conflict:
+            assert forced.check_probe(st_forced, probe, True).conflict

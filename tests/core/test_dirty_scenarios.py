@@ -1,0 +1,153 @@
+"""The paper's Figure 6 hazards and Figure 7 walkthrough, scripted.
+
+Figure 6 shows why sub-blocking *needs* the Dirty state: after a
+non-conflicting load fetched a line whose other sub-block a remote
+transaction speculatively wrote,
+
+* (a) a later local read of that sub-block would silently miss a true
+  RAW conflict (both transactions commit — atomicity broken), and
+* (b) if the writer aborts first, the local reader would consume the
+  discarded speculative value.
+
+With dirty handling enabled the machine re-probes and neither hazard can
+occur; with the ``dirty_state_enabled=False`` ablation both hazards
+manifest and the serializability checker reports them.
+"""
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.errors import AtomicityViolation
+from repro.htm.txn import TxnStatus
+from tests.conftest import TxnDriver, make_machine
+
+L = 0x40000
+SB = 16
+
+
+def driver(dirty_enabled: bool) -> TxnDriver:
+    cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+    from dataclasses import replace
+
+    cfg = replace(cfg, htm=replace(cfg.htm, dirty_state_enabled=dirty_enabled))
+    return TxnDriver(make_machine(cfg, check=True))
+
+
+class TestFigure6aWithDirtyState:
+    """T0 writes sub-block A'; T1 reads sub-block B (no conflict), then
+    reads A — the Dirty state converts the local hit into a probe that
+    aborts T0, preserving atomicity."""
+
+    def test_conflict_detected_via_reprobe(self):
+        d = driver(dirty_enabled=True)
+        d.begin(0)
+        d.write(0, L, 8)  # T0 writes sub-block 0
+        t0 = d.txn(0)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)  # T1 reads sub-block 2: no true conflict
+        assert t0.status is TxnStatus.RUNNING
+        out = d.read(1, L, 8)  # T1 now reads T0's sub-block
+        assert out.dirty_reprobe
+        assert t0.status is TxnStatus.ABORTED
+        t1 = d.commit(1)
+        # T1 observed the committed (pre-T0) value, not T0's token.
+        assert t1.observed[L] == 0
+
+    def test_both_commit_when_no_overlap_ever(self):
+        d = driver(dirty_enabled=True)
+        d.begin(0)
+        d.write(0, L, 8)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)
+        d.commit(0)
+        d.commit(1)  # checker validates both
+
+
+class TestFigure6aAblation:
+    """Without the Dirty state the local hit returns T0's speculative
+    value with no probe — the checker flags the dirty read."""
+
+    def test_missed_conflict_detected_by_checker(self):
+        d = driver(dirty_enabled=False)
+        d.begin(0)
+        d.write(0, L, 8)
+        t0 = d.txn(0)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)  # copies line incl. T0's spec token
+        with pytest.raises(AtomicityViolation):
+            d.read(1, L, 8)  # silent local hit on speculative data
+        assert t0.status is TxnStatus.RUNNING  # nobody probed it
+
+
+class TestFigure6bWithDirtyState:
+    """T0 aborts after T1 fetched the line: T1's later read of the dirty
+    sub-block refetches correct data instead of consuming garbage."""
+
+    def test_correct_value_after_writer_abort(self):
+        d = driver(dirty_enabled=True)
+        # Establish a committed value first.
+        d.begin(0)
+        d.write(0, L, 8)
+        committed = d.commit(0)
+        good_token = committed.redo[L]
+
+        d.begin(0)
+        d.write(0, L, 8)  # speculative overwrite
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)
+        d.abort(0)  # T0 aborts; its speculative value must vanish
+        out = d.read(1, L, 8)
+        assert out.dirty_reprobe
+        t1 = d.commit(1)
+        assert t1.observed[L] == good_token
+
+
+class TestFigure6bAblation:
+    def test_aborted_value_consumed_without_dirty_state(self):
+        d = driver(dirty_enabled=False)
+        d.begin(0)
+        d.write(0, L, 8)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)
+        d.abort(0)
+        with pytest.raises(AtomicityViolation) as exc:
+            d.read(1, L, 8)
+        assert "aborted" in str(exc.value)
+
+
+class TestFigure7Walkthrough:
+    """The paper's Figure 7 load-access walkthrough, state by state."""
+
+    def test_full_sequence(self):
+        d = driver(dirty_enabled=True)
+        machine = d.machine
+
+        # Core 0's transaction reads sub-block 1 and writes sub-block 0.
+        d.begin(0)
+        d.read(0, L + SB, 8)
+        d.write(0, L, 8)
+        st0 = machine.spec_tables[0][L]
+        assert st0.swr_bits == 0b0001
+        assert st0.srd_bits == 0b0010
+
+        # Core 1 loads sub-block 2: non-invalidating probe, no conflict;
+        # data returns with piggy-back bits; sub-block 0 becomes Dirty.
+        d.begin(1)
+        out = d.read(1, L + 2 * SB, 8)
+        assert out.conflicts == []
+        st1 = machine.spec_tables[1][L]
+        assert st1.srd_bits == 0b0100
+        assert st1.dirty_bits == 0b0001
+        # Responder keeps its state; its line was demoted, not invalidated.
+        line0 = machine.mem.l1s[0].lookup(L, touch=False)
+        assert line0 is not None and line0.valid
+
+        # Core 1 hits its own Dirty sub-block: treated as a miss, probe
+        # aborts core 0, Dirty becomes S-RD after the refill.
+        out = d.read(1, L, 8)
+        assert out.dirty_reprobe
+        assert machine.active[0] is None
+        st1 = machine.spec_tables[1][L]
+        assert st1.dirty_bits == 0
+        assert st1.srd_bits & 0b0001
+        d.commit(1)

@@ -1,0 +1,61 @@
+"""Section IV-E hardware-overhead model: the paper's exact numbers."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.overhead import OverheadModel
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def paper_model():
+    """64 KB L1, 64 B lines, four sub-blocks — the paper's configuration."""
+    return OverheadModel(l1=SystemConfig().l1, n_subblocks=4)
+
+
+class TestPaperNumbers:
+    def test_bits_per_line(self, paper_model):
+        assert paper_model.bits_per_line == 8  # 2N
+
+    def test_extra_bits_is_2n_minus_2(self, paper_model):
+        assert paper_model.extra_bits_per_line == 6  # 2(N-1)
+
+    def test_extra_state_is_0_75_kb(self, paper_model):
+        """Paper: 'the hardware overhead compared to the baseline ASF will
+        be 0.75KB'."""
+        assert paper_model.extra_state_bytes == 0.75 * 1024
+
+    def test_ratio_is_1_17_percent(self, paper_model):
+        """Paper: 'accounting for 1.17% of the original L1 cache size'."""
+        assert paper_model.extra_state_ratio == pytest.approx(0.0117, abs=0.0003)
+
+    def test_piggyback_bits(self, paper_model):
+        assert paper_model.piggyback_bits_per_response == 4
+
+    def test_payload_ratio_negligible(self, paper_model):
+        assert paper_model.piggyback_payload_ratio < 0.01
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n,extra", [(1, 0), (2, 2), (8, 14), (16, 30)])
+    def test_extra_bits_formula(self, n, extra):
+        model = OverheadModel(l1=SystemConfig().l1, n_subblocks=n)
+        assert model.extra_bits_per_line == extra
+
+    def test_one_subblock_matches_baseline(self):
+        model = OverheadModel(l1=SystemConfig().l1, n_subblocks=1)
+        assert model.extra_state_bytes == 0
+
+    def test_overhead_monotone_in_n(self):
+        costs = [
+            OverheadModel(l1=SystemConfig().l1, n_subblocks=n).extra_state_bytes
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert costs == sorted(costs)
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ConfigError):
+            OverheadModel(l1=SystemConfig().l1, n_subblocks=5)
+
+    def test_describe_mentions_percentage(self, paper_model):
+        assert "1.17%" in paper_model.describe()

@@ -1,0 +1,52 @@
+"""Perfect (byte-granularity) detector tests."""
+
+import pytest
+
+from repro.core.perfect import PerfectDetector
+from repro.htm.specstate import SpecLineState
+from repro.util.bitops import byte_mask
+
+
+@pytest.fixture
+def det():
+    return PerfectDetector(64)
+
+
+@pytest.fixture
+def st():
+    return SpecLineState(0)
+
+
+class TestPerfectDetection:
+    def test_is_byte_granular(self, det):
+        assert det.n_subblocks == 64
+        assert det.subblock_size == 1
+        assert det.name == "perfect"
+
+    def test_only_true_conflicts_on_loads(self, det, st):
+        det.record_write(st, byte_mask(0, 8))
+        # adjacent disjoint bytes: no conflict at byte granularity
+        assert not det.check_probe(st, byte_mask(8, 8), False).conflict
+        # overlapping bytes: conflict
+        assert det.check_probe(st, byte_mask(4, 8), False).conflict
+
+    def test_only_true_conflicts_on_stores(self, det, st):
+        det.record_read(st, byte_mask(0, 8))
+        assert not det.check_probe(st, byte_mask(8, 8), True).conflict
+        assert det.check_probe(st, byte_mask(0, 1), True).conflict
+
+    def test_no_forced_waw(self, det, st):
+        det.record_write(st, byte_mask(0, 8))
+        check = det.check_probe(st, byte_mask(8, 8), True)
+        assert not check.conflict
+
+    def test_single_byte_precision(self, det, st):
+        det.record_write(st, byte_mask(7, 1))
+        assert not det.check_probe(st, byte_mask(6, 1), False).conflict
+        assert not det.check_probe(st, byte_mask(8, 1), False).conflict
+        assert det.check_probe(st, byte_mask(7, 1), False).conflict
+
+    def test_dirty_machinery_at_byte_level(self, det, st):
+        det.apply_fill_piggyback(st, byte_mask(0, 8))
+        assert det.dirty_hit(st, byte_mask(4, 2))
+        assert not det.dirty_hit(st, byte_mask(8, 8))

@@ -1,0 +1,63 @@
+"""Piggy-back codec tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.piggyback import PiggybackCodec
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def codec():
+    return PiggybackCodec(4)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, codec):
+        flags = [True, False, True, False]
+        assert codec.unpack(codec.pack(flags)) == flags
+
+    def test_wrong_length_rejected(self, codec):
+        with pytest.raises(ConfigError):
+            codec.pack([True])
+
+    def test_out_of_range_rejected(self, codec):
+        with pytest.raises(ConfigError):
+            codec.unpack(1 << 4)
+
+    @given(st.lists(st.booleans(), min_size=8, max_size=8))
+    def test_roundtrip_property(self, flags):
+        codec = PiggybackCodec(8)
+        assert codec.unpack(codec.pack(flags)) == flags
+
+
+class TestMerge:
+    def test_union(self, codec):
+        assert codec.merge(0b0001, 0b0100) == 0b0101
+
+    def test_empty(self, codec):
+        assert codec.merge() == 0
+
+    def test_validates_inputs(self, codec):
+        with pytest.raises(ConfigError):
+            codec.merge(0b10000)
+
+
+class TestOverhead:
+    def test_extra_bits(self):
+        assert PiggybackCodec(4).extra_bits == 4
+        assert PiggybackCodec(16).extra_bits == 16
+
+    def test_marked_subblocks(self, codec):
+        assert codec.marked_subblocks(0b1010) == [1, 3]
+
+    def test_payload_ratio_negligible(self):
+        """Section IV-E: 4 status bits against a 64-byte line is <1%."""
+        ratio = PiggybackCodec(4).response_overhead_ratio(64)
+        assert ratio == 4 / 512
+        assert ratio < 0.01
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ConfigError):
+            PiggybackCodec(0)

@@ -1,0 +1,194 @@
+"""Sub-blocking detector tests: probe matrix, dirty machinery, forced WAW."""
+
+import pytest
+
+from repro.core.subblock import SubblockDetector
+from repro.errors import ConfigError
+from repro.htm.specstate import SpecLineState
+from repro.util.bitops import byte_mask
+
+
+@pytest.fixture
+def det():
+    return SubblockDetector(line_size=64, n_subblocks=4)
+
+
+@pytest.fixture
+def st():
+    return SpecLineState(line_addr=0)
+
+
+# sub-block k covers bytes [16k, 16k+16)
+SB0 = byte_mask(0, 8)
+SB0_OTHER = byte_mask(8, 8)  # same sub-block, disjoint bytes
+SB1 = byte_mask(16, 8)
+SB3 = byte_mask(48, 8)
+
+
+class TestConstruction:
+    def test_rejects_bad_split(self):
+        with pytest.raises(ConfigError):
+            SubblockDetector(64, 5)
+
+    def test_name_includes_count(self):
+        assert SubblockDetector(64, 8).name == "subblock8"
+
+    def test_subblock_memoisation(self, det):
+        assert det.subblocks(SB0) == det.subblocks(SB0) == 0b0001
+        assert det.subblocks(SB3) == 0b1000
+
+
+class TestRecording:
+    def test_read_sets_srd(self, det, st):
+        det.record_read(st, SB1)
+        assert st.srd_bits == 0b0010
+        assert st.swr_bits == 0
+
+    def test_write_sets_swr(self, det, st):
+        det.record_write(st, SB1)
+        assert st.swr_bits == 0b0010
+
+    def test_read_after_write_keeps_swr(self, det, st):
+        det.record_write(st, SB1)
+        det.record_read(st, SB1)
+        assert st.swr_bits == 0b0010
+
+    def test_write_after_read_upgrades(self, det, st):
+        det.record_read(st, SB1)
+        det.record_write(st, SB1)
+        assert st.swr_bits == 0b0010
+        assert st.srd_bits == 0
+
+    def test_straddling_access_marks_both(self, det, st):
+        det.record_read(st, byte_mask(12, 8))  # bytes 12..19
+        assert st.srd_bits == 0b0011
+
+    def test_read_does_not_clear_other_dirty(self, det, st):
+        st.wr_bits = 0b1000  # sub-block 3 dirty
+        det.record_read(st, SB0)
+        assert st.dirty_bits == 0b1000
+
+
+class TestProbeMatrix:
+    def test_noninval_vs_srd_no_conflict(self, det, st):
+        det.record_read(st, SB0)
+        assert not det.check_probe(st, SB0, invalidating=False).conflict
+
+    def test_noninval_vs_swr_same_subblock(self, det, st):
+        det.record_write(st, SB0)
+        assert det.check_probe(st, SB0_OTHER, invalidating=False).conflict
+
+    def test_noninval_vs_swr_other_subblock_no_conflict(self, det, st):
+        """The core of the paper: a load to a different sub-block of a
+        speculatively written line is NOT a conflict."""
+        det.record_write(st, SB0)
+        assert not det.check_probe(st, SB1, invalidating=False).conflict
+
+    def test_inval_vs_srd_same_subblock(self, det, st):
+        det.record_read(st, SB0)
+        assert det.check_probe(st, SB0_OTHER, invalidating=True).conflict
+
+    def test_inval_vs_srd_other_subblock_no_conflict(self, det, st):
+        det.record_read(st, SB0)
+        check = det.check_probe(st, SB1, invalidating=True)
+        assert not check.conflict
+
+    def test_forced_waw(self, det, st):
+        """An invalidating probe to a line with any S-WR sub-block aborts
+        the victim even without overlap (Section IV-D-2)."""
+        det.record_write(st, SB0)
+        check = det.check_probe(st, SB1, invalidating=True)
+        assert check.conflict
+        assert check.forced_waw
+
+    def test_forced_waw_disabled(self, st):
+        det = SubblockDetector(64, 4, forced_waw_abort=False)
+        det.record_write(st, SB0)
+        assert not det.check_probe(st, SB1, invalidating=True).conflict
+
+    def test_overlap_beats_forced_flag(self, det, st):
+        det.record_write(st, SB0)
+        check = det.check_probe(st, SB0_OTHER, invalidating=True)
+        assert check.conflict
+        assert not check.forced_waw  # genuine sub-block overlap
+
+
+class TestDirtyMachinery:
+    def test_piggyback_is_swr_bits(self, det, st):
+        det.record_write(st, SB0)
+        det.record_read(st, SB1)
+        assert det.piggyback_mask(st) == 0b0001
+
+    def test_apply_piggyback_marks_dirty(self, det, st):
+        det.apply_fill_piggyback(st, 0b0100)
+        assert st.dirty_bits == 0b0100
+
+    def test_piggyback_never_overrides_own_spec(self, det, st):
+        det.record_read(st, SB1)
+        det.apply_fill_piggyback(st, 0b0010)
+        assert st.srd_bits == 0b0010
+        assert st.dirty_bits == 0
+
+    def test_fresh_fill_clears_stale_dirty(self, det, st):
+        det.apply_fill_piggyback(st, 0b0100)
+        det.apply_fill_piggyback(st, 0b1000)
+        assert st.dirty_bits == 0b1000
+
+    def test_dirty_hit(self, det, st):
+        det.apply_fill_piggyback(st, 0b0001)
+        assert det.dirty_hit(st, SB0)
+        assert not det.dirty_hit(st, SB1)
+
+    def test_load_stale_only_on_dirty_target(self, det, st):
+        det.apply_fill_piggyback(st, 0b0001)
+        assert det.data_stale(st, SB0, is_write=False)
+        assert not det.data_stale(st, SB1, is_write=False)
+
+    def test_store_stale_on_any_dirty(self, det, st):
+        det.apply_fill_piggyback(st, 0b0001)
+        assert det.data_stale(st, SB1, is_write=True)
+
+    def test_store_probe_on_remote_spec_target(self, det, st):
+        st.rr_bits = 0b0010
+        assert det.rr_hit(st, SB1)
+        assert not det.rr_hit(st, SB0)
+        # rr does not make the local data stale — probe only.
+        assert not det.data_stale(st, SB1, is_write=True)
+
+    def test_disabled_dirty_state(self, st):
+        det = SubblockDetector(64, 4, dirty_state_enabled=False)
+        det.record_write(st, SB0)
+        assert det.piggyback_mask(st) == 0
+        det.apply_fill_piggyback(st, 0b1111)
+        assert st.dirty_bits == 0
+        assert not det.data_stale(st, SB0, True)
+        assert not det.rr_hit(st, SB0)
+
+
+class TestRetentionAndClear:
+    def test_retains_when_speculative(self, det, st):
+        det.record_read(st, SB0)
+        assert det.retains_on_invalidate(st)
+
+    def test_dirty_only_not_retained(self, det, st):
+        det.apply_fill_piggyback(st, 0b0001)
+        assert not det.retains_on_invalidate(st)
+
+    def test_clear_preserves_dirty(self, det, st):
+        det.record_write(st, SB0)
+        det.apply_fill_piggyback(st, 0b1000)
+        empty = det.clear_spec(st)
+        assert not empty
+        assert st.dirty_bits == 0b1000
+        assert st.spec_bits == 0
+
+    def test_clear_preserves_remote_spec_bits(self, det, st):
+        det.record_read(st, SB0)
+        st.rr_bits = 0b0010
+        assert not det.clear_spec(st)
+        assert st.rr_bits == 0b0010
+
+    def test_clear_of_pure_spec_is_empty(self, det, st):
+        det.record_read(st, SB0)
+        det.record_write(st, SB1)
+        assert det.clear_spec(st)

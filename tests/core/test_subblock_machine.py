@@ -1,0 +1,190 @@
+"""Sub-blocking through the machine: false-conflict elimination, retained
+state on invalidated lines, piggy-back/dirty flow, forced WAW."""
+
+from repro.htm.txn import TxnStatus
+
+L = 0x30000
+SB = 16  # sub-block size at N=4
+
+
+class TestFalseConflictElimination:
+    def test_false_war_survives(self, subblock_driver):
+        """The headline behaviour: disjoint sub-blocks do not conflict."""
+        d = subblock_driver
+        d.begin(0)
+        d.read(0, L, 8)  # sub-block 0
+        reader = d.txn(0)
+        d.begin(1)
+        out = d.write(1, L + 2 * SB, 8)  # sub-block 2
+        assert out.conflicts == []
+        assert reader.status is TxnStatus.RUNNING
+        d.commit(1)
+        d.commit(0)
+
+    def test_false_raw_survives(self, subblock_driver):
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        writer = d.txn(0)
+        d.begin(1)
+        out = d.read(1, L + 2 * SB, 8)
+        assert out.conflicts == []
+        assert writer.status is TxnStatus.RUNNING
+        d.commit(0)
+        d.commit(1)
+
+    def test_same_subblock_disjoint_bytes_still_conflicts(self, subblock_driver):
+        """Residual false sharing inside one sub-block is not eliminated —
+        the granularity limit the sensitivity study (Figure 8) measures."""
+        d = subblock_driver
+        d.begin(0)
+        d.read(0, L, 8)  # bytes 0..7 of sub-block 0
+        reader = d.txn(0)
+        d.begin(1)
+        out = d.write(1, L + 8, 8)  # bytes 8..15: same sub-block
+        assert len(out.conflicts) == 1
+        assert out.conflicts[0].is_false
+        assert reader.status is TxnStatus.ABORTED
+
+
+class TestRetainedStateOnInvalidatedLines:
+    def test_war_invalidation_retains_bits(self, subblock_driver):
+        d = subblock_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L + 2 * SB, 8)  # invalidates core 0's copy, no conflict
+        line = d.machine.mem.l1s[0].lookup(L, touch=False)
+        assert line is not None and not line.valid  # retained-invalid
+        st = d.machine.spec_tables[0][L]
+        assert st.srd_bits == 0b0001
+
+    def test_retained_bits_still_detect_conflicts(self, subblock_driver):
+        """Section IV-D: 'conflict check will be done for both valid and
+        invalidated cache lines'."""
+        d = subblock_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        reader = d.txn(0)
+        d.begin(1)
+        d.write(1, L + 2 * SB, 8)  # false WAR: reader survives, invalid copy
+        d.commit(1)
+        d.begin(2)
+        out = d.write(2, L, 8)  # now hit the retained S-RD sub-block
+        assert len(out.conflicts) == 1
+        assert not out.conflicts[0].is_false
+        assert reader.status is TxnStatus.ABORTED
+
+    def test_silent_store_into_retained_reader_reprobes(self, subblock_driver):
+        """The completed protocol: after a false-WAR invalidation the
+        writer's line is M, but a later store into the retained reader's
+        sub-block must still be detected (via the remote-speculation
+        marking forcing a probe)."""
+        d = subblock_driver
+        d.begin(0)
+        d.read(0, L, 8)  # sub-block 0
+        reader = d.txn(0)
+        d.begin(1)
+        d.write(1, L + 2 * SB, 8)  # false WAR; core1 line now M
+        assert reader.status is TxnStatus.RUNNING
+        out = d.write(1, L + 8, 8)  # sub-block 0, locally M => would be silent
+        assert len(out.conflicts) == 1
+        assert reader.status is TxnStatus.ABORTED
+
+    def test_reader_refetch_after_invalidation(self, subblock_driver):
+        d = subblock_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L + 2 * SB, 8)
+        d.commit(1)
+        # Reader's next access misses (line invalid) and refetches.
+        out = d.read(0, L + 8, 8)
+        assert not out.hit_l1
+        assert d.txn(0).status is TxnStatus.RUNNING
+        d.commit(0)
+
+
+class TestPiggybackDirtyFlow:
+    def test_reader_gets_dirty_marks(self, subblock_driver):
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, L, 8)  # S-WR on sub-block 0
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)  # fetches from writer, piggyback
+        st = d.machine.spec_tables[1][L]
+        assert st.dirty_bits == 0b0001
+
+    def test_dirty_read_reprobes_and_aborts_writer(self, subblock_driver):
+        """Section IV-C: a load hitting a Dirty sub-block is treated as a
+        miss; the probe aborts the still-running writer."""
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        writer = d.txn(0)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)
+        out = d.read(1, L + 8, 8)  # dirty sub-block 0 (writer wrote 0..7)
+        assert out.dirty_reprobe
+        assert writer.status is TxnStatus.ABORTED
+        # The conflict is false at byte level (bytes 8..15 vs 0..7).
+        assert out.conflicts[0].is_false
+        d.commit(1)
+
+    def test_dirty_read_after_writer_commit_is_clean(self, subblock_driver):
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)
+        t0 = d.commit(0)
+        out = d.read(1, L, 8)  # dirty; writer committed; reprobe fetches
+        assert out.dirty_reprobe
+        assert out.conflicts == []
+        t1 = d.commit(1)
+        assert t1.observed[L] == t0.redo[L]  # committed value observed
+
+    def test_dirty_cleared_after_reprobe(self, subblock_driver):
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)
+        d.commit(0)
+        d.read(1, L, 8)  # reprobe clears dirty
+        st = d.machine.spec_tables[1][L]
+        assert st.dirty_bits == 0
+        out = d.read(1, L + 8, 8)
+        assert not out.dirty_reprobe
+        d.commit(1)
+
+    def test_dirty_survives_local_commit(self, subblock_driver):
+        """Dirty marks describe *another* core's transaction: the local
+        gang-clear at commit must not erase them (Section IV-D-3)."""
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        d.begin(1)
+        d.read(1, L + 2 * SB, 8)
+        d.commit(1)
+        st = d.machine.spec_tables[1].get(L)
+        assert st is not None
+        assert st.dirty_bits == 0b0001
+
+
+class TestForcedWaw:
+    def test_nonoverlapping_store_aborts_spec_writer(self, subblock_driver):
+        """Invalidation would lose the victim's speculative data: the
+        victim aborts even though sub-blocks do not overlap."""
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, L, 8)  # sub-block 0
+        writer = d.txn(0)
+        d.begin(1)
+        out = d.write(1, L + 2 * SB, 8)  # sub-block 2
+        assert len(out.conflicts) == 1
+        rec = out.conflicts[0]
+        assert rec.forced_waw
+        assert rec.is_false
+        assert writer.status is TxnStatus.ABORTED
+        assert d.machine.stats.forced_waw_aborts == 1

@@ -1,0 +1,51 @@
+"""Exponential backoff manager tests."""
+
+from repro.config import HtmConfig
+from repro.htm.backoff import BackoffManager
+from repro.util.rng import DeterministicRng
+
+
+def manager(jitter=0.0, base=64, cap=8192, seed=1):
+    cfg = HtmConfig(
+        backoff_base_cycles=base, backoff_cap_cycles=cap, backoff_jitter=jitter
+    )
+    return BackoffManager(cfg, DeterministicRng(seed))
+
+
+class TestExponentialGrowth:
+    def test_zero_retries_no_delay(self):
+        assert manager().delay(0) == 0
+
+    def test_doubling(self):
+        m = manager(jitter=0.0)
+        assert m.delay(1) == 64
+        assert m.delay(2) == 128
+        assert m.delay(3) == 256
+
+    def test_cap(self):
+        m = manager(jitter=0.0, cap=512)
+        assert m.delay(10) == 512
+        assert m.delay(100) == 512
+
+    def test_huge_retry_count_no_overflow(self):
+        assert manager(jitter=0.0).delay(10_000) == 8192
+
+
+class TestJitter:
+    def test_jitter_within_bounds(self):
+        m = manager(jitter=0.5)
+        for retries in range(1, 12):
+            d = m.delay(retries)
+            nominal = min(64 << (retries - 1), 8192)
+            assert 1 <= d <= 2 * 8192
+            assert nominal * 0.5 - 1 <= d <= nominal * 1.5 + 1
+
+    def test_jitter_varies(self):
+        m = manager(jitter=0.5)
+        draws = {m.delay(5) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_deterministic_for_seed(self):
+        a = [manager(jitter=0.5, seed=9).delay(k) for k in range(1, 8)]
+        b = [manager(jitter=0.5, seed=9).delay(k) for k in range(1, 8)]
+        assert a == b

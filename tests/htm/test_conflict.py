@@ -1,0 +1,74 @@
+"""Conflict classification tests (the Section III taxonomy)."""
+
+import pytest
+
+from repro.htm.conflict import ConflictRecord, ConflictType, classify_type
+from repro.util.bitops import byte_mask
+
+
+class TestClassifyType:
+    def test_load_always_raw(self):
+        # Loads only conflict with speculative writes.
+        assert classify_type(False, 0, 0xFF) is ConflictType.RAW
+        assert classify_type(False, 0xFF, 0xFF) is ConflictType.RAW
+
+    def test_store_vs_pure_reader_is_war(self):
+        assert classify_type(True, 0xFF, 0) is ConflictType.WAR
+
+    def test_store_vs_pure_writer_is_waw(self):
+        assert classify_type(True, 0, 0xFF) is ConflictType.WAW
+
+    def test_store_vs_reader_writer_is_war(self):
+        # The paper's breakdown keeps WAW at ~0%: victims that read the
+        # line at all count as WAR.
+        assert classify_type(True, 0xF0, 0x0F) is ConflictType.WAR
+
+
+def record(req_mask, vr, vw, is_write=True, forced=False):
+    return ConflictRecord(
+        time=10,
+        requester_core=0,
+        victim_core=1,
+        requester_txn=5,
+        victim_txn=6,
+        line_addr=0x40,
+        line_index=1,
+        ctype=classify_type(is_write, vr, vw),
+        is_false=(req_mask & (vw | (vr if is_write else 0))) == 0,
+        requester_is_write=is_write,
+        requester_mask=req_mask,
+        victim_read_mask=vr,
+        victim_write_mask=vw,
+        forced_waw=forced,
+    )
+
+
+class TestConflictRecord:
+    def test_true_conflict_has_overlap(self):
+        rec = record(byte_mask(0, 8), byte_mask(0, 8), 0)
+        assert not rec.is_false
+        assert rec.overlap_mask == byte_mask(0, 8)
+
+    def test_false_conflict_no_overlap(self):
+        rec = record(byte_mask(0, 8), byte_mask(8, 8), 0)
+        assert rec.is_false
+        assert rec.overlap_mask == 0
+
+    def test_load_ignores_victim_reads_for_overlap(self):
+        # A load probing a victim that only READ the same bytes is not a
+        # conflict at all architecturally; overlap uses writes only.
+        rec = record(byte_mask(0, 8), byte_mask(0, 8), byte_mask(8, 8), is_write=False)
+        assert rec.is_false
+        assert rec.overlap_mask == 0
+
+    def test_describe_mentions_kind(self):
+        assert "FALSE" in record(byte_mask(0, 8), byte_mask(8, 8), 0).describe()
+        assert "TRUE" in record(byte_mask(0, 8), byte_mask(0, 8), 0).describe()
+
+    def test_describe_flags_forced(self):
+        rec = record(byte_mask(0, 8), 0, byte_mask(8, 8), forced=True)
+        assert "forced WAW" in rec.describe()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            record(1, 2, 4).time = 0  # type: ignore[misc]

@@ -1,0 +1,112 @@
+"""Baseline ASF detector: the Section IV-A conflict rules."""
+
+import pytest
+
+from repro.htm.detector import AsfBaselineDetector
+from repro.htm.specstate import SpecLineState
+from repro.util.bitops import byte_mask
+
+
+@pytest.fixture
+def det():
+    return AsfBaselineDetector(64)
+
+
+@pytest.fixture
+def st():
+    return SpecLineState(line_addr=0)
+
+
+class TestRecording:
+    def test_read_sets_sr(self, det, st):
+        det.record_read(st, byte_mask(0, 8))
+        assert st.sr and not st.sw
+        assert st.read_mask == byte_mask(0, 8)
+
+    def test_write_sets_sw(self, det, st):
+        det.record_write(st, byte_mask(8, 8))
+        assert st.sw and not st.sr
+        assert st.write_mask == byte_mask(8, 8)
+
+    def test_masks_accumulate(self, det, st):
+        det.record_read(st, byte_mask(0, 8))
+        det.record_read(st, byte_mask(16, 8))
+        assert st.read_mask == byte_mask(0, 8) | byte_mask(16, 8)
+
+
+class TestProbeRules:
+    """Paper: invalidating probes conflict with SR or SW; non-invalidating
+    probes conflict with SW only."""
+
+    def test_inval_vs_sr(self, det, st):
+        det.record_read(st, byte_mask(0, 8))
+        assert det.check_probe(st, byte_mask(56, 8), invalidating=True).conflict
+
+    def test_inval_vs_sw(self, det, st):
+        det.record_write(st, byte_mask(0, 8))
+        assert det.check_probe(st, byte_mask(56, 8), invalidating=True).conflict
+
+    def test_noninval_vs_sr_no_conflict(self, det, st):
+        det.record_read(st, byte_mask(0, 8))
+        assert not det.check_probe(st, byte_mask(0, 8), invalidating=False).conflict
+
+    def test_noninval_vs_sw(self, det, st):
+        det.record_write(st, byte_mask(0, 8))
+        assert det.check_probe(st, byte_mask(56, 8), invalidating=False).conflict
+
+    def test_clean_line_never_conflicts(self, det, st):
+        for inval in (True, False):
+            assert not det.check_probe(st, byte_mask(0, 64), inval).conflict
+
+    def test_line_granular_blindness(self, det, st):
+        """The baseline cannot distinguish sub-line offsets — the defect
+        the paper fixes: disjoint bytes still conflict."""
+        det.record_read(st, byte_mask(0, 8))
+        check = det.check_probe(st, byte_mask(56, 8), invalidating=True)
+        assert check.conflict  # false conflict by construction
+
+    def test_no_forced_waw_flag(self, det, st):
+        det.record_write(st, byte_mask(0, 8))
+        assert not det.check_probe(st, byte_mask(56, 8), True).forced_waw
+
+
+class TestLifecycle:
+    def test_clear_spec_empties(self, det, st):
+        det.record_read(st, byte_mask(0, 8))
+        det.record_write(st, byte_mask(8, 8))
+        assert det.clear_spec(st)
+        assert not st.sr and not st.sw
+        assert st.read_mask == 0 and st.write_mask == 0
+        assert st.owner_txn == -1
+
+    def test_has_spec(self, det, st):
+        assert not det.has_spec(st)
+        det.record_read(st, 1)
+        assert det.has_spec(st)
+
+    def test_has_spec_write(self, det, st):
+        det.record_read(st, 1)
+        assert not det.has_spec_write(st)
+        det.record_write(st, 2)
+        assert det.has_spec_write(st)
+
+    def test_no_dirty_machinery(self, det, st):
+        det.record_write(st, 0xFF)
+        assert det.piggyback_mask(st) == 0
+        assert not det.dirty_hit(st, 0xFF)
+        assert not det.data_stale(st, 0xFF, True)
+        assert not det.rr_hit(st, 0xFF)
+        assert not det.retains_on_invalidate(st)
+
+
+class TestFactory:
+    def test_make_detector_dispatch(self):
+        from repro.config import DetectionScheme, default_system
+        from repro.htm.detector import make_detector
+
+        assert make_detector(default_system()).name == "asf"
+        assert (
+            make_detector(default_system(DetectionScheme.SUBBLOCK, 8)).name
+            == "subblock8"
+        )
+        assert make_detector(default_system(DetectionScheme.PERFECT)).name == "perfect"

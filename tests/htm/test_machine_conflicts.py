@@ -1,0 +1,191 @@
+"""Baseline conflict detection through the machine: requester-wins aborts,
+true/false classification, WAR/RAW typing."""
+
+import pytest
+
+from repro.htm.txn import AbortCause, TxnStatus
+from repro.htm.conflict import ConflictType
+
+L = 0x20000  # one shared line
+
+
+class TestBaselineFalseConflicts:
+    def test_false_war(self, baseline_driver):
+        """Store to bytes a remote transaction did not read, same line:
+        baseline aborts it anyway (the paper's core problem)."""
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)  # bytes 0..7
+        victim = d.txn(0)
+        d.begin(1)
+        out = d.write(1, L + 32, 8)  # disjoint bytes
+        assert len(out.conflicts) == 1
+        rec = out.conflicts[0]
+        assert rec.is_false
+        assert rec.ctype is ConflictType.WAR
+        assert victim.status is TxnStatus.ABORTED
+        assert victim.abort_cause is AbortCause.CONFLICT_FALSE
+
+    def test_false_raw(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        victim = d.txn(0)
+        d.begin(1)
+        out = d.read(1, L + 32, 8)
+        rec = out.conflicts[0]
+        assert rec.is_false
+        assert rec.ctype is ConflictType.RAW
+        assert victim.status is TxnStatus.ABORTED
+
+    def test_true_war(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        out = d.write(1, L, 8)  # same bytes
+        rec = out.conflicts[0]
+        assert not rec.is_false
+        assert rec.ctype is ConflictType.WAR
+
+    def test_true_raw(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        d.begin(1)
+        out = d.read(1, L + 4, 8)  # overlaps bytes 4..7
+        rec = out.conflicts[0]
+        assert not rec.is_false
+        assert rec.ctype is ConflictType.RAW
+
+    def test_waw_pure_writer_victim(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.write(0, L, 8)
+        d.begin(1)
+        out = d.write(1, L + 32, 8)
+        rec = out.conflicts[0]
+        assert rec.is_false
+        assert rec.ctype is ConflictType.WAW
+
+    def test_read_read_no_conflict(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        out = d.read(1, L, 8)
+        assert out.conflicts == []
+        assert d.txn(0).status is TxnStatus.RUNNING
+        d.commit(0)
+        d.commit(1)
+
+    def test_requester_wins_and_proceeds(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L + 32, 8)
+        assert d.txn(1).status is TxnStatus.RUNNING
+        d.commit(1)  # requester commits fine
+
+    def test_committed_victim_untouchable(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.commit(0)
+        d.begin(1)
+        out = d.write(1, L + 32, 8)
+        assert out.conflicts == []
+
+    def test_multiple_victims_one_probe(self, baseline_driver):
+        d = baseline_driver
+        for core in (0, 1, 2):
+            d.begin(core)
+            d.read(core, L + core * 8, 8)
+        d.begin(3)
+        out = d.write(3, L + 48, 8)
+        assert len(out.conflicts) == 3
+        assert {r.victim_core for r in out.conflicts} == {0, 1, 2}
+        assert all(r.is_false for r in out.conflicts)
+
+    def test_non_txn_store_aborts_readers(self, baseline_driver):
+        """Non-transactional stores still generate invalidating probes
+        that conflict with transactional readers."""
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        victim = d.txn(0)
+        out = d.write(1, L + 32, 8)  # core 1 has no transaction
+        assert len(out.conflicts) == 1
+        assert victim.status is TxnStatus.ABORTED
+
+
+class TestStatsRecording:
+    def test_conflict_counters(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L + 32, 8)
+        stats = d.machine.stats
+        assert stats.conflicts.total == 1
+        assert stats.conflicts.total_false == 1
+        assert stats.conflicts.false_war == 1
+        assert stats.conflicts.false_rate == 1.0
+
+    def test_false_line_histogram(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L + 32, 8)
+        hist = d.machine.stats.line_histogram()
+        assert hist == [(L // 64, 1)]
+
+    def test_abort_cause_split(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L, 8)  # true
+        assert d.machine.stats.aborts_conflict_true == 1
+        d.commit(1)
+        d.begin(0)
+        d.read(0, L + 16, 8)
+        d.begin(2)
+        d.write(2, L + 32, 8)  # same line, disjoint bytes: false
+        assert d.machine.stats.aborts_conflict_false == 1
+
+
+@pytest.mark.parametrize("driver_name", ["baseline_driver", "subblock_driver", "perfect_driver"])
+class TestAllSchemesDetectTrueConflicts:
+    """No scheme may miss a genuine byte-overlap conflict."""
+
+    def test_true_war_detected(self, driver_name, request):
+        d = request.getfixturevalue(driver_name)
+        d.begin(0)
+        d.read(0, L, 8)
+        victim = d.txn(0)
+        d.begin(1)
+        out = d.write(1, L + 4, 8)
+        assert any(not r.is_false for r in out.conflicts)
+        assert victim.status is TxnStatus.ABORTED
+
+    def test_true_raw_detected(self, driver_name, request):
+        d = request.getfixturevalue(driver_name)
+        d.begin(0)
+        d.write(0, L, 8)
+        victim = d.txn(0)
+        d.begin(1)
+        out = d.read(1, L, 8)
+        assert any(not r.is_false for r in out.conflicts)
+        assert victim.status is TxnStatus.ABORTED
+
+    def test_true_waw_detected(self, driver_name, request):
+        d = request.getfixturevalue(driver_name)
+        d.begin(0)
+        d.write(0, L, 8)
+        victim = d.txn(0)
+        d.begin(1)
+        d.write(1, L, 8)
+        assert victim.status is TxnStatus.ABORTED

@@ -1,0 +1,124 @@
+"""Machine behaviour for line-crossing accesses and mixed scenarios."""
+
+import pytest
+
+from repro.htm.txn import TxnStatus
+
+A = 0x80000  # A and A+64 are consecutive lines
+B = A + 64
+
+
+class TestLineCrossingAccesses:
+    def test_both_lines_in_footprint(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, A + 60, 8)  # 4 bytes in each line
+        txn = d.txn(0)
+        assert txn.read_lines == {A, B}
+
+    def test_crossing_write_buffers_both_lines(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.write(0, A + 60, 8)
+        txn = d.txn(0)
+        assert txn.write_lines == {A, B}
+        assert A + 60 in txn.redo
+        assert B in txn.redo
+
+    def test_crossing_write_commit_publishes_both(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.write(0, A + 60, 8)
+        txn = d.commit(0)
+        for wa, tok in txn.redo.items():
+            assert d.machine.mem.mem_read_word(wa) == tok
+
+    def test_crossing_access_conflicts_on_either_line(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        d.read(0, B, 8)  # second line only
+        victim = d.txn(0)
+        d.begin(1)
+        out = d.write(1, A + 60, 8)  # crosses into B
+        assert any(r.line_addr == B for r in out.conflicts)
+        assert victim.status is TxnStatus.ABORTED
+
+    def test_subblock_masks_per_line(self, subblock_driver):
+        """A crossing access marks the tail sub-block of the first line
+        and the head sub-block of the second."""
+        d = subblock_driver
+        d.begin(0)
+        d.read(0, A + 60, 8)
+        st_a = d.machine.spec_tables[0][A]
+        st_b = d.machine.spec_tables[0][B]
+        assert st_a.srd_bits == 0b1000  # last sub-block of line A
+        assert st_b.srd_bits == 0b0001  # first sub-block of line B
+
+    def test_capacity_abort_mid_crossing_stops(self, baseline_driver):
+        """If the second chunk capacity-aborts, the access reports it and
+        the transaction is gone."""
+        from repro.htm.machine import SPEC_OVERFLOW_WAYS
+
+        d = baseline_driver
+        d.begin(0)
+        stride = 512 * 64
+        # Fill B's set to the pin limit with speculative lines.
+        for k in range(2 + SPEC_OVERFLOW_WAYS):
+            assert d.read(0, B + (k + 1) * stride, 8).self_abort is None
+        out = d.read(0, A + 60, 8)  # A fills fine; B blocks
+        assert out.self_abort is not None
+        assert d.machine.active[0] is None
+
+
+class TestMixedSchemesScenarios:
+    @pytest.mark.parametrize(
+        "driver_name", ["baseline_driver", "subblock_driver", "perfect_driver"]
+    )
+    def test_write_then_read_other_core_roundtrip(self, driver_name, request):
+        """Commit, remote read, remote commit: values flow correctly."""
+        d = request.getfixturevalue(driver_name)
+        d.begin(0)
+        d.write(0, A, 8)
+        t0 = d.commit(0)
+        d.begin(1)
+        d.read(1, A, 8)
+        t1 = d.commit(1)
+        assert t1.observed[A] == t0.redo[A]
+        assert t1.observed[A + 4] == t0.redo[A + 4]
+
+    def test_interleaved_txn_and_plain_accesses(self, subblock_driver):
+        """Non-transactional traffic between transactional accesses keeps
+        the protocol and values coherent."""
+        d = subblock_driver
+        d.write(0, A, 8)  # plain store (committed immediately)
+        plain_token = d.machine.mem.mem_read_word(A)
+        assert plain_token != 0
+        d.begin(1)
+        d.read(1, A, 8)
+        t1 = d.commit(1)
+        assert t1.observed[A] == plain_token
+
+    def test_plain_store_overwrites_after_txn(self, subblock_driver):
+        d = subblock_driver
+        d.begin(0)
+        d.write(0, A, 8)
+        t0 = d.commit(0)
+        d.write(1, A, 8)  # plain store wins afterwards
+        assert d.machine.mem.mem_read_word(A) != t0.redo[A]
+
+    def test_empty_transaction_commits(self, baseline_driver):
+        d = baseline_driver
+        d.begin(0)
+        txn = d.commit(0)
+        assert txn.status is TxnStatus.COMMITTED
+        assert d.machine.stats.txn_commits == 1
+
+    def test_stats_accumulate_across_transactions(self, baseline_driver):
+        d = baseline_driver
+        for _ in range(3):
+            d.begin(0)
+            d.read(0, A, 8)
+            d.commit(0)
+        s = d.machine.stats
+        assert s.txn_commits == 3
+        assert s.l1_hits + s.l1_misses == 3

@@ -1,0 +1,44 @@
+"""Transaction-operation record tests."""
+
+import pytest
+
+from repro.htm.ops import OpKind, TxnOp, read_op, work_op, write_op
+
+
+class TestConstructors:
+    def test_read(self):
+        op = read_op(0x100, 8)
+        assert op.kind is OpKind.READ
+        assert not op.is_write
+        assert op.is_mem
+
+    def test_write(self):
+        op = write_op(0x100, 8)
+        assert op.is_write
+        assert op.is_mem
+
+    def test_work(self):
+        op = work_op(10)
+        assert not op.is_mem
+        assert op.cycles == 10
+
+
+class TestValidation:
+    def test_zero_size_mem_rejected(self):
+        with pytest.raises(ValueError):
+            read_op(0, 0)
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(ValueError):
+            write_op(-4, 8)
+
+    def test_zero_cycle_work_rejected(self):
+        with pytest.raises(ValueError):
+            work_op(0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            read_op(0, 8).addr = 5  # type: ignore[misc]
+
+    def test_hashable_for_dedup(self):
+        assert len({read_op(0, 8), read_op(0, 8), write_op(0, 8)}) == 2

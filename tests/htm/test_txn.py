@@ -1,0 +1,95 @@
+"""Transaction lifecycle tests."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.htm.ops import read_op
+from repro.htm.txn import AbortCause, Transaction, TxnStatus
+
+
+def make_txn(uid=1, core=0, start=100):
+    return Transaction(
+        uid=uid, static_id=7, core=core, ops=(read_op(0, 8),), attempt=1,
+        start_time=start,
+    )
+
+
+class TestLifecycle:
+    def test_starts_running(self):
+        assert make_txn().status is TxnStatus.RUNNING
+        assert make_txn().running
+
+    def test_commit(self):
+        t = make_txn()
+        t.mark_committed(150)
+        assert t.status is TxnStatus.COMMITTED
+        assert t.end_time == 150
+        assert not t.running
+
+    def test_abort(self):
+        t = make_txn()
+        t.mark_aborted(160, AbortCause.CONFLICT_FALSE)
+        assert t.status is TxnStatus.ABORTED
+        assert t.abort_cause is AbortCause.CONFLICT_FALSE
+
+    def test_double_commit_rejected(self):
+        t = make_txn()
+        t.mark_committed(150)
+        with pytest.raises(ProtocolError):
+            t.mark_committed(160)
+
+    def test_abort_after_commit_rejected(self):
+        t = make_txn()
+        t.mark_committed(150)
+        with pytest.raises(ProtocolError):
+            t.mark_aborted(160, AbortCause.CAPACITY)
+
+    def test_wasted_cycles(self):
+        t = make_txn(start=100)
+        t.mark_aborted(175, AbortCause.CONFLICT_TRUE)
+        assert t.wasted_cycles == 75
+
+    def test_committed_wastes_nothing(self):
+        t = make_txn(start=100)
+        t.mark_committed(175)
+        assert t.wasted_cycles == 0
+
+
+class TestRuntimeSets:
+    def test_line_sets(self):
+        t = make_txn()
+        t.note_read(0x0)
+        t.note_write(0x40)
+        assert t.read_lines == {0x0}
+        assert t.write_lines == {0x40}
+        assert t.footprint_lines == {0x0, 0x40}
+
+    def test_store_forwarding(self):
+        t = make_txn()
+        t.record_store(0x100, 42)
+        assert t.forwarded_value(0x100) == 42
+        assert t.forwarded_value(0x104) is None
+
+    def test_last_store_wins(self):
+        t = make_txn()
+        t.record_store(0x100, 1)
+        t.record_store(0x100, 2)
+        assert t.redo[0x100] == 2
+
+    def test_store_after_end_rejected(self):
+        t = make_txn()
+        t.mark_aborted(1000, AbortCause.USER)
+        with pytest.raises(ProtocolError):
+            t.record_store(0x100, 1)
+
+    def test_observe_first_read_only(self):
+        t = make_txn()
+        t.observe_read(0x100, 10)
+        t.observe_read(0x100, 20)
+        assert t.observed[0x100] == 10
+
+    def test_own_writes_not_observed(self):
+        t = make_txn()
+        t.record_store(0x100, 5)
+        t.observe_read(0x100, 5)
+        assert 0x100 not in t.observed

@@ -1,0 +1,56 @@
+"""Token allocator / version tracker tests."""
+
+from repro.htm.versioning import TokenAllocator, VersionTracker
+
+
+class TestTokenAllocator:
+    def test_tokens_unique_and_positive(self):
+        alloc = TokenAllocator()
+        tokens = [alloc.allocate(1, 0x100) for _ in range(100)]
+        assert len(set(tokens)) == 100
+        assert all(t > 0 for t in tokens)
+
+    def test_zero_reserved_for_initial_memory(self):
+        alloc = TokenAllocator()
+        assert alloc.allocate(1, 0) != 0
+        assert alloc.provenance(0) is None
+
+    def test_provenance(self):
+        alloc = TokenAllocator()
+        t = alloc.allocate(7, 0x40)
+        info = alloc.provenance(t)
+        assert info is not None
+        assert info.txn_uid == 7
+        assert info.word_addr == 0x40
+        assert alloc.writer_of(t) == 7
+
+    def test_len(self):
+        alloc = TokenAllocator()
+        alloc.allocate(1, 0)
+        alloc.allocate(1, 4)
+        assert len(alloc) == 2
+
+
+class TestVersionTracker:
+    def test_commit_membership(self):
+        vt = VersionTracker()
+        vt.on_commit(3)
+        assert vt.is_committed(3)
+        assert not vt.is_aborted(3)
+
+    def test_abort_membership(self):
+        vt = VersionTracker()
+        vt.on_abort(4)
+        assert vt.is_aborted(4)
+        assert not vt.is_committed(4)
+
+    def test_commit_order_preserved(self):
+        vt = VersionTracker()
+        for uid in (5, 2, 9):
+            vt.on_commit(uid)
+        assert vt.commit_order == [5, 2, 9]
+
+    def test_unknown_is_neither(self):
+        vt = VersionTracker()
+        assert not vt.is_committed(1)
+        assert not vt.is_aborted(1)

@@ -1,0 +1,145 @@
+"""Protocol fuzzing: random multicore transactional programs.
+
+Hypothesis generates arbitrary interleavings of begin/read/write/commit/
+abort across four cores and a small hot address space; after *every*
+operation the harness asserts machine-wide invariants, and at the end the
+committed history must be serializable (checker raising throughout).
+
+Invariants checked per step:
+
+* MOESI: at most one M/E copy of any line; an M/E copy excludes all other
+  valid copies; at most one owner;
+* cache structure: set sizing, alignment, key consistency;
+* speculative state: any S-RD/S-WR/SR/SW entry belongs to the core's
+  *running* transaction; pinned lines are resident; a speculatively
+  written line is never supplied while Dirty-marked elsewhere (implied by
+  the no-dirty-read check at observation time).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DetectionScheme, default_system
+from repro.htm.txn import AbortCause, TxnStatus
+from repro.mem.moesi import check_global_invariant
+from tests.conftest import make_machine
+
+N_CORES = 4
+LINES = [0x70000 + i * 64 for i in range(4)]  # tiny hot space
+OFFSETS = [0, 8, 16, 24, 32, 40, 48, 56]
+
+
+@st.composite
+def programs(draw):
+    ops = []
+    for _ in range(draw(st.integers(5, 60))):
+        core = draw(st.integers(0, N_CORES - 1))
+        kind = draw(
+            st.sampled_from(["begin", "read", "write", "commit", "abort"])
+        )
+        addr = draw(st.sampled_from(LINES)) + draw(st.sampled_from(OFFSETS))
+        size = draw(st.sampled_from([4, 8]))
+        ops.append((kind, core, addr, size))
+    return ops
+
+
+def check_invariants(machine):
+    for line_addr in LINES:
+        check_global_invariant(machine.mem.moesi_states(line_addr))
+    for core in range(N_CORES):
+        machine.mem.l1s[core].check_invariants()
+        txn = machine.active[core]
+        for line_addr, spec in machine.spec_tables[core].items():
+            if spec.any_spec:
+                assert txn is not None and spec.owner_txn == txn.uid, (
+                    f"core {core} holds speculative state for a "
+                    f"non-running transaction on {line_addr:#x}"
+                )
+                line = machine.mem.l1s[core].lookup(line_addr, touch=False)
+                assert line is not None, "speculative line not resident"
+                assert line.pinned, "speculative line not pinned"
+
+
+def execute(machine, ops, scheme_label):
+    """Run a random program, tolerating remote aborts transparently."""
+    time = 0
+    for kind, core, addr, size in ops:
+        time += 1
+        txn = machine.active[core]
+        if txn is not None and not txn.running:  # pragma: no cover - defensive
+            machine.active[core] = None
+            txn = None
+        if kind == "begin":
+            if txn is None:
+                t = machine.new_txn(core, time, (), 1, time)
+                machine.begin_txn(core, t)
+        elif kind in ("read", "write"):
+            if txn is not None:
+                machine.access(core, addr, size, kind == "write", time)
+        elif kind == "commit":
+            if machine.active[core] is not None:
+                machine.commit(core, time)
+        elif kind == "abort":
+            if machine.active[core] is not None:
+                machine.abort_self(core, time, AbortCause.USER)
+        check_invariants(machine)
+    # Drain: commit whatever is still running (validation may abort it).
+    for core in range(N_CORES):
+        if machine.active[core] is not None:
+            machine.commit(core, time + core + 1)
+    if machine.checker is not None:
+        machine.checker.finalize()
+
+
+SCHEMES = [
+    (DetectionScheme.ASF_BASELINE, 4),
+    (DetectionScheme.SUBBLOCK, 4),
+    (DetectionScheme.SUBBLOCK, 8),
+    (DetectionScheme.PERFECT, 4),
+    (DetectionScheme.DECOUPLED, 4),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_fuzzed_programs_preserve_invariants_all_schemes(ops):
+    for scheme, n_sub in SCHEMES:
+        cfg = default_system(scheme, n_sub)
+        from dataclasses import replace
+
+        cfg = replace(cfg, n_cores=N_CORES)
+        machine = make_machine(cfg, check=True)  # checker raises
+        execute(machine, ops, scheme.value)
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs(), st.integers(0, 3))
+def test_fuzzed_with_nontransactional_interference(ops, rogue_core):
+    """Mix in non-transactional accesses from one core (device-driver
+    style traffic): invariants and serializability must still hold."""
+    from dataclasses import replace
+
+    cfg = replace(default_system(DetectionScheme.SUBBLOCK, 4), n_cores=N_CORES)
+    machine = make_machine(cfg, check=True)
+    time = 0
+    for kind, core, addr, size in ops:
+        time += 1
+        if core == rogue_core:
+            if kind in ("read", "write"):
+                machine.access(core, addr, size, kind == "write", time)
+            continue
+        txn = machine.active[core]
+        if kind == "begin" and txn is None:
+            t = machine.new_txn(core, time, (), 1, time)
+            machine.begin_txn(core, t)
+        elif kind in ("read", "write") and txn is not None:
+            machine.access(core, addr, size, kind == "write", time)
+        elif kind == "commit" and machine.active[core] is not None:
+            machine.commit(core, time)
+        elif kind == "abort" and machine.active[core] is not None:
+            machine.abort_self(core, time, AbortCause.USER)
+        check_invariants(machine)
+    for core in range(N_CORES):
+        if machine.active[core] is not None:
+            machine.commit(core, time + core + 1)
+    machine.checker.finalize()

@@ -1,0 +1,150 @@
+"""Qualitative reproduction of the paper's headline observations.
+
+These tests run a mid-sized suite once (module-scoped) and assert the
+*shape* of each result — who wins, what dominates, where the outliers are
+— with tolerances wide enough for the reduced problem sizes used in CI.
+The full-size numbers are reported by the benchmark harness and recorded
+in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis import figures
+from repro.analysis.experiments import run_suite
+
+TXNS = 120
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(txns_per_core=TXNS, seed=SEED)
+
+
+class TestFigure1Shapes:
+    def test_intruder_has_lowest_false_rate(self, suite):
+        rates = dict(figures.fig1_false_rates(suite))
+        rates.pop("average")
+        assert min(rates, key=rates.get) == "intruder"
+
+    def test_ssca2_and_apriori_high(self, suite):
+        rates = dict(figures.fig1_false_rates(suite))
+        assert rates["ssca2"] > 0.7
+        assert rates["apriori"] > 0.8
+
+    def test_average_significant(self, suite):
+        """Paper: average ≈46%; we assert the same significance band."""
+        rates = dict(figures.fig1_false_rates(suite))
+        assert 0.35 < rates["average"] < 0.8
+
+    def test_most_benchmarks_above_40_percent(self, suite):
+        rates = dict(figures.fig1_false_rates(suite))
+        rates.pop("average")
+        above = sum(1 for v in rates.values() if v > 0.4)
+        assert above >= 6
+
+
+class TestFigure2Shapes:
+    def test_waw_negligible_everywhere(self, suite):
+        """Paper: WAW false conflicts are ≈0% — the design relies on it."""
+        for name, _war, _raw, waw in figures.fig2_breakdown(suite):
+            assert waw < 0.15, f"{name} WAW share {waw}"
+
+    def test_vacation_apriori_war_dominant(self, suite):
+        rows = {r[0]: r for r in figures.fig2_breakdown(suite)}
+        for name in ("vacation", "apriori"):
+            _, war, raw, _ = rows[name]
+            assert war > raw
+
+    def test_kmeans_labyrinth_genome_raw_dominant(self, suite):
+        """Paper: RAW ≈73% on average for this group."""
+        rows = {r[0]: r for r in figures.fig2_breakdown(suite)}
+        raw_shares = []
+        for name in ("kmeans", "labyrinth", "genome"):
+            _, war, raw, _ = rows[name]
+            assert raw > war, f"{name} not RAW-dominant"
+            raw_shares.append(raw)
+        assert sum(raw_shares) / 3 > 0.55
+
+
+class TestFigure5Shapes:
+    def test_grains_match_paper(self, suite):
+        """8-byte grids everywhere, 4-byte for kmeans."""
+        for name in ("vacation", "genome", "intruder"):
+            grain = figures.fig5_dominant_grain(suite[name].baseline.stats)
+            assert grain == 8, f"{name} grain {grain}"
+        assert figures.fig5_dominant_grain(suite["kmeans"].baseline.stats) == 4
+
+
+class TestFigure8Shapes:
+    def test_sixteen_subblocks_complete(self, suite):
+        for name, byn in figures.fig8_sensitivity(suite):
+            assert byn[16] == pytest.approx(1.0, abs=1e-9), name
+
+    def test_eight_subblocks_complete_except_kmeans(self, suite):
+        rows = dict(figures.fig8_sensitivity(suite))
+        for name, byn in rows.items():
+            if name in ("kmeans", "average"):
+                continue
+            assert byn[8] > 0.9, f"{name} at 8 sub-blocks: {byn[8]}"
+        assert rows["kmeans"][8] < 0.98
+
+    def test_four_subblocks_near_complete_for_trio(self, suite):
+        """Paper: ≈100% for vacation, ScalParC and Apriori at N=4."""
+        rows = dict(figures.fig8_sensitivity(suite))
+        for name in ("vacation", "scalparc", "apriori"):
+            assert rows[name][4] > 0.9, f"{name}: {rows[name][4]}"
+
+    def test_utilitymine_low_at_four(self, suite):
+        """Paper calls utilitymine out as the N=4 failure case."""
+        rows = dict(figures.fig8_sensitivity(suite))
+        others = [
+            v[4] for k, v in rows.items() if k not in ("utilitymine", "average")
+        ]
+        assert rows["utilitymine"][4] < sorted(others)[2]
+
+    def test_average_at_four_significant(self, suite):
+        """Paper: 56.4% of false conflicts eliminated at N=4."""
+        rows = dict(figures.fig8_sensitivity(suite))
+        assert 0.4 < rows["average"][4] <= 1.0
+
+    def test_monotone_in_subblock_count(self, suite):
+        for name, byn in figures.fig8_sensitivity(suite):
+            vals = [byn[n] for n in (2, 4, 8, 16)]
+            assert vals == sorted(vals), name
+
+
+class TestFigure9And10Shapes:
+    def test_average_overall_reduction_positive(self, suite):
+        rows = dict(
+            (n, sub) for n, sub, _ in figures.fig9_overall_reduction(suite)
+        )
+        assert rows["average"] > 0.1  # paper: 31.3%
+
+    def test_subblock_within_perfect_envelope_on_average(self, suite):
+        rows = {n: (s, p) for n, s, p in figures.fig9_overall_reduction(suite)}
+        avg_sub, avg_perfect = rows["average"]
+        # Paper: ≈83% of the perfect system's reduction; we accept a band.
+        assert avg_sub <= avg_perfect + 0.15
+
+    def test_execution_improvement_exists(self, suite):
+        rows = {n: s for n, s, _ in figures.fig10_exec_improvement(suite)}
+        best = max(v for k, v in rows.items() if k != "average")
+        assert best > 0.15  # paper: up to ≈30%
+
+    def test_utilitymine_execution_flat(self, suite):
+        """Paper: −0.1% — statistically nothing."""
+        rows = {n: s for n, s, _ in figures.fig10_exec_improvement(suite)}
+        assert abs(rows["utilitymine"]) < 0.25
+
+    def test_perfect_eliminates_all_false(self, suite):
+        for name in suite.names():
+            assert suite[name].perfect.stats.conflicts.total_false == 0
+
+
+class TestOverheadStory:
+    def test_fig9_weighted_means_sane(self, suite):
+        """The closed-loop false reduction at N=4 lands in the paper's
+        significance band on aggregate."""
+        mean = suite.mean_false_reduction
+        assert 0.2 < mean <= 1.0

@@ -1,0 +1,63 @@
+"""Whole-workload correctness: every benchmark, every scheme, checker on.
+
+These are the strongest tests in the suite: they run real contended
+workloads through the full machine with the opacity + serializability
+checker raising on any violation.  A protocol bug anywhere (coherence,
+spec bookkeeping, dirty handling, retained-state checks) surfaces here.
+"""
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.sim.engine import SimulationEngine
+from repro.workloads.registry import BENCHMARK_NAMES, get_workload
+from repro.workloads.synthetic import SyntheticWorkload
+
+SCHEMES = (
+    DetectionScheme.ASF_BASELINE,
+    DetectionScheme.SUBBLOCK,
+    DetectionScheme.PERFECT,
+)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+def test_benchmark_histories_serializable(name, scheme):
+    w = get_workload(name, txns_per_core=30)
+    cfg = default_system(scheme, 4)
+    scripts = w.build(cfg.n_cores, seed=21)
+    engine = SimulationEngine(cfg, scripts, seed=21, check_atomicity=True)
+    stats = engine.run()  # checker raises on violation
+    assert stats.txn_commits == sum(cs.n_txns for cs in scripts)
+    assert engine.checker is not None and engine.checker.clean
+
+
+@pytest.mark.parametrize("n_subblocks", [2, 8, 16])
+def test_subblock_counts_serializable(n_subblocks):
+    w = SyntheticWorkload(txns_per_core=40, n_records=96, field_bytes=8)
+    cfg = default_system(DetectionScheme.SUBBLOCK, n_subblocks)
+    scripts = w.build(cfg.n_cores, seed=8)
+    engine = SimulationEngine(cfg, scripts, seed=8, check_atomicity=True)
+    engine.run()
+    assert engine.checker.clean
+
+
+@pytest.mark.parametrize("seed", [2, 3, 5, 8, 13])
+def test_high_contention_serializable_across_seeds(seed):
+    """A deliberately nasty workload: hot 4-byte fields, heavy writes."""
+    w = SyntheticWorkload(
+        txns_per_core=40,
+        n_records=24,
+        field_bytes=4,
+        record_bytes=4,
+        writes_per_txn=(2, 5),
+        hot_fraction=0.5,
+        zipf_s=1.2,
+        gap_mean=30,
+    )
+    for scheme in SCHEMES:
+        cfg = default_system(scheme, 4)
+        scripts = w.build(cfg.n_cores, seed=seed)
+        engine = SimulationEngine(cfg, scripts, seed=seed, check_atomicity=True)
+        engine.run()
+        assert engine.checker.clean

@@ -1,0 +1,140 @@
+"""Address-map arithmetic tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.address import WORD_SIZE, AddressMap
+
+_addrs = st.integers(min_value=0, max_value=2**40)
+_sizes = st.integers(min_value=1, max_value=256)
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(64)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            AddressMap(48)
+
+    def test_words_per_line(self):
+        assert AddressMap(64).words_per_line == 16
+        assert AddressMap(32).words_per_line == 8
+
+
+class TestLineMath:
+    def test_line_addr(self, amap):
+        assert amap.line_addr(0) == 0
+        assert amap.line_addr(63) == 0
+        assert amap.line_addr(64) == 64
+        assert amap.line_addr(130) == 128
+
+    def test_offset(self, amap):
+        assert amap.offset(0) == 0
+        assert amap.offset(67) == 3
+
+    def test_line_index(self, amap):
+        assert amap.line_index(0) == 0
+        assert amap.line_index(64) == 1
+        assert amap.line_index(6400) == 100
+
+    @given(_addrs)
+    def test_decomposition_roundtrip(self, addr):
+        amap = AddressMap(64)
+        assert amap.line_addr(addr) + amap.offset(addr) == addr
+
+    @given(_addrs)
+    def test_line_addr_aligned(self, addr):
+        amap = AddressMap(64)
+        assert amap.line_addr(addr) % 64 == 0
+
+
+class TestSplit:
+    def test_within_line(self, amap):
+        chunks = amap.split(10, 8)
+        assert len(chunks) == 1
+        assert chunks[0].line_addr == 0
+        assert chunks[0].offset == 10
+        assert chunks[0].size == 8
+
+    def test_crossing_line(self, amap):
+        chunks = amap.split(60, 8)
+        assert [(c.line_addr, c.offset, c.size) for c in chunks] == [
+            (0, 60, 4),
+            (64, 0, 4),
+        ]
+
+    def test_spanning_four_lines(self, amap):
+        chunks = amap.split(32, 170)
+        assert len(chunks) == 4
+        assert sum(c.size for c in chunks) == 170
+
+    def test_rejects_zero_size(self, amap):
+        with pytest.raises(ValueError):
+            amap.split(0, 0)
+
+    @given(_addrs, _sizes)
+    def test_split_covers_exactly(self, addr, size):
+        amap = AddressMap(64)
+        chunks = amap.split(addr, size)
+        assert sum(c.size for c in chunks) == size
+        # Chunks are contiguous and in order.
+        pos = addr
+        for c in chunks:
+            assert c.line_addr + c.offset == pos
+            assert 1 <= c.size <= 64
+            pos += c.size
+
+    @given(_addrs, _sizes)
+    def test_chunk_masks_fit_line(self, addr, size):
+        amap = AddressMap(64)
+        for c in amap.split(addr, size):
+            assert 0 < c.mask < (1 << 64)
+
+
+class TestAccessMask:
+    def test_matches_manual(self, amap):
+        assert amap.access_mask(8, 8) == 0xFF << 8
+
+    def test_rejects_crossing(self, amap):
+        with pytest.raises(ValueError):
+            amap.access_mask(60, 8)
+
+
+class TestWords:
+    def test_single_word(self, amap):
+        assert list(amap.word_indices(0, 4)) == [0]
+
+    def test_eight_byte_field(self, amap):
+        assert list(amap.word_indices(8, 8)) == [2, 3]
+
+    def test_unaligned_straddle(self, amap):
+        assert list(amap.word_indices(2, 4)) == [0, 1]
+
+    def test_word_addr(self, amap):
+        assert amap.word_addr(128, 3) == 128 + 3 * WORD_SIZE
+
+
+class TestSubblocks:
+    def test_subblock_size(self, amap):
+        assert amap.subblock_size(4) == 16
+
+    def test_subblock_of(self, amap):
+        assert amap.subblock_of(0, 4) == 0
+        assert amap.subblock_of(15, 4) == 0
+        assert amap.subblock_of(16, 4) == 1
+        assert amap.subblock_of(63, 4) == 3
+
+    def test_rejects_bad_count(self, amap):
+        with pytest.raises(ConfigError):
+            amap.subblock_size(3)
+
+    @given(st.integers(0, 63), st.sampled_from([1, 2, 4, 8, 16]))
+    def test_subblock_mask_consistent_with_index(self, off, n):
+        amap = AddressMap(64)
+        mask = amap.access_mask(off, 1)
+        assert amap.subblock_mask(mask, n) == 1 << amap.subblock_of(off, n)

@@ -1,0 +1,74 @@
+"""Snoop-bus tests: probe semantics, fan-out order, traffic counters."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.bus import BusStats, ProbeKind, ProbeRequest, SnoopBus
+
+
+def probe(kind=ProbeKind.INVALIDATING, **kw):
+    defaults = dict(
+        line_addr=0, byte_mask=0xFF, requester=0, requester_txn=1, is_write=True
+    )
+    defaults.update(kw)
+    return ProbeRequest(kind=kind, **defaults)
+
+
+class TestProbeRequest:
+    def test_invalidating_flag(self):
+        assert probe(ProbeKind.INVALIDATING).invalidating
+        assert not probe(ProbeKind.NON_INVALIDATING).invalidating
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            probe().line_addr = 5  # type: ignore[misc]
+
+
+class TestSnoopOrder:
+    def test_excludes_requester(self):
+        bus = SnoopBus(4)
+        for r in range(4):
+            assert r not in bus.snoop_order(r)
+
+    def test_covers_all_other_cores(self):
+        bus = SnoopBus(8)
+        assert sorted(bus.snoop_order(3)) == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_round_robin_from_requester(self):
+        bus = SnoopBus(4)
+        assert bus.snoop_order(2) == [3, 0, 1]
+
+    def test_single_core_empty(self):
+        assert SnoopBus(1).snoop_order(0) == []
+
+    @given(st.integers(2, 16), st.integers(0, 15))
+    def test_order_is_permutation(self, n, r):
+        if r >= n:
+            r %= n
+        order = SnoopBus(n).snoop_order(r)
+        assert sorted(order) == [c for c in range(n) if c != r]
+
+
+class TestCounters:
+    def test_probe_counting(self):
+        bus = SnoopBus(2)
+        bus.count_probe(probe(ProbeKind.INVALIDATING))
+        bus.count_probe(probe(ProbeKind.NON_INVALIDATING))
+        bus.count_probe(probe(ProbeKind.NON_INVALIDATING))
+        assert bus.stats.probes_invalidating == 1
+        assert bus.stats.probes_non_invalidating == 2
+        assert bus.stats.total_probes == 3
+
+    def test_response_counting(self):
+        bus = SnoopBus(2)
+        bus.count_response(from_cache=True, piggyback=True)
+        bus.count_response(from_cache=False, piggyback=False)
+        assert bus.stats.data_responses_cache == 1
+        assert bus.stats.data_responses_memory == 1
+        assert bus.stats.piggyback_responses == 1
+
+    def test_fresh_stats_zero(self):
+        s = BusStats()
+        assert s.total_probes == 0

@@ -1,0 +1,235 @@
+"""Set-associative cache tests: LRU, pinning, retention, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ProtocolError
+from repro.mem.cache import SetAssocCache
+from repro.mem.moesi import MoesiState
+
+LINE = 64
+
+
+def cache(n_sets=4, assoc=2):
+    return SetAssocCache(n_sets=n_sets, associativity=assoc, line_size=LINE)
+
+
+def addr(set_idx, tag, n_sets=4):
+    return (tag * n_sets + set_idx) * LINE
+
+
+class TestConstruction:
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache(3, 2, 64)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache(4, 0, 64)
+
+    def test_from_config(self):
+        from repro.config import SystemConfig
+
+        c = SetAssocCache.from_config(SystemConfig().l1)
+        assert c.n_sets == 512
+        assert c.associativity == 2
+
+
+class TestFillLookup:
+    def test_miss_returns_none(self):
+        assert cache().lookup(0) is None
+
+    def test_fill_then_hit(self):
+        c = cache()
+        c.fill(0, MoesiState.EXCLUSIVE, data=[0] * 16)
+        line = c.lookup(0)
+        assert line is not None
+        assert line.valid
+        assert line.state is MoesiState.EXCLUSIVE
+
+    def test_fill_rejects_invalid_state(self):
+        with pytest.raises(ProtocolError):
+            cache().fill(0, MoesiState.INVALID, None)
+
+    def test_fill_rejects_unaligned(self):
+        with pytest.raises(ProtocolError):
+            cache().fill(7, MoesiState.SHARED, None)
+
+    def test_refill_updates_state_and_data(self):
+        c = cache()
+        c.fill(0, MoesiState.SHARED, data=[1] * 16)
+        res = c.fill(0, MoesiState.MODIFIED, data=[2] * 16)
+        assert res.line.state is MoesiState.MODIFIED
+        assert res.line.data == [2] * 16
+        assert res.evicted is None
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        c = cache(n_sets=1, assoc=2)
+        c.fill(addr(0, 0, 1), MoesiState.SHARED, None)
+        c.fill(addr(0, 1, 1), MoesiState.SHARED, None)
+        res = c.fill(addr(0, 2, 1), MoesiState.SHARED, None)
+        assert res.evicted is not None
+        assert res.evicted.addr == addr(0, 0, 1)
+
+    def test_lookup_refreshes_recency(self):
+        c = cache(n_sets=1, assoc=2)
+        a, b, d = addr(0, 0, 1), addr(0, 1, 1), addr(0, 2, 1)
+        c.fill(a, MoesiState.SHARED, None)
+        c.fill(b, MoesiState.SHARED, None)
+        c.lookup(a)  # a becomes MRU
+        res = c.fill(d, MoesiState.SHARED, None)
+        assert res.evicted.addr == b
+
+    def test_untouched_lookup_does_not_refresh(self):
+        c = cache(n_sets=1, assoc=2)
+        a, b, d = addr(0, 0, 1), addr(0, 1, 1), addr(0, 2, 1)
+        c.fill(a, MoesiState.SHARED, None)
+        c.fill(b, MoesiState.SHARED, None)
+        c.lookup(a, touch=False)
+        res = c.fill(d, MoesiState.SHARED, None)
+        assert res.evicted.addr == a
+
+    def test_sets_isolated(self):
+        c = cache(n_sets=4, assoc=1)
+        for s in range(4):
+            c.fill(addr(s, 0), MoesiState.SHARED, None)
+        for s in range(4):
+            assert c.contains_valid(addr(s, 0))
+
+
+class TestPinning:
+    def test_pinned_line_never_victim(self):
+        c = cache(n_sets=1, assoc=2)
+        a, b, d = addr(0, 0, 1), addr(0, 1, 1), addr(0, 2, 1)
+        c.fill(a, MoesiState.SHARED, None)
+        c.fill(b, MoesiState.SHARED, None)
+        c.pin(a)
+        res = c.fill(d, MoesiState.SHARED, None)
+        assert res.evicted.addr == b  # a was LRU but pinned
+
+    def test_all_pinned_blocks_fill(self):
+        c = cache(n_sets=1, assoc=2)
+        a, b = addr(0, 0, 1), addr(0, 1, 1)
+        c.fill(a, MoesiState.SHARED, None)
+        c.fill(b, MoesiState.SHARED, None)
+        c.pin(a)
+        c.pin(b)
+        res = c.fill(addr(0, 2, 1), MoesiState.SHARED, None)
+        assert res.capacity_blocked
+        assert not res.ok
+
+    def test_unpin_restores_evictability(self):
+        c = cache(n_sets=1, assoc=2)
+        a, b = addr(0, 0, 1), addr(0, 1, 1)
+        c.fill(a, MoesiState.SHARED, None)
+        c.fill(b, MoesiState.SHARED, None)
+        c.pin(a)
+        c.pin(b)
+        c.unpin(a)
+        res = c.fill(addr(0, 2, 1), MoesiState.SHARED, None)
+        assert res.ok
+        assert res.evicted.addr == a
+
+    def test_pin_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            cache().pin(0)
+
+    def test_unpin_missing_is_noop(self):
+        cache().unpin(0)  # must not raise
+
+    def test_pinned_count(self):
+        c = cache()
+        c.fill(0, MoesiState.SHARED, None)
+        assert c.pinned_count() == 0
+        c.pin(0)
+        assert c.pinned_count() == 1
+
+
+class TestInvalidation:
+    def test_invalidate_removes(self):
+        c = cache()
+        c.fill(0, MoesiState.SHARED, None)
+        c.invalidate(0)
+        assert c.lookup(0) is None
+
+    def test_invalidate_retain_keeps_resident(self):
+        c = cache()
+        c.fill(0, MoesiState.SHARED, None)
+        line = c.invalidate(0, retain=True)
+        assert line is not None
+        resident = c.lookup(0)
+        assert resident is not None
+        assert not resident.valid
+
+    def test_retained_line_occupies_way(self):
+        c = cache(n_sets=1, assoc=2)
+        a, b = addr(0, 0, 1), addr(0, 1, 1)
+        c.fill(a, MoesiState.SHARED, None)
+        c.pin(a)
+        c.invalidate(a, retain=True)
+        c.fill(b, MoesiState.SHARED, None)
+        # a (invalid, pinned) + b: set full
+        res = c.fill(addr(0, 2, 1), MoesiState.SHARED, None)
+        assert res.evicted.addr == b
+
+    def test_invalidate_missing_returns_none(self):
+        assert cache().invalidate(0) is None
+
+    def test_drop(self):
+        c = cache()
+        c.fill(0, MoesiState.SHARED, None)
+        c.drop(0)
+        assert c.lookup(0) is None
+
+    def test_refill_of_retained_line(self):
+        c = cache()
+        c.fill(0, MoesiState.SHARED, data=[1] * 16)
+        c.invalidate(0, retain=True)
+        res = c.fill(0, MoesiState.EXCLUSIVE, data=[2] * 16)
+        assert res.ok
+        assert res.line.valid
+        assert res.line.data == [2] * 16
+
+
+@st.composite
+def _op_sequences(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 60))):
+        kind = draw(st.sampled_from(["fill", "lookup", "invalidate", "pin", "unpin", "drop"]))
+        a = addr(draw(st.integers(0, 3)), draw(st.integers(0, 5)))
+        ops.append((kind, a))
+    return ops
+
+
+class TestInvariantsUnderRandomOps:
+    @settings(max_examples=60, deadline=None)
+    @given(_op_sequences())
+    def test_structural_invariants_hold(self, ops):
+        c = cache(n_sets=4, assoc=2)
+        pinned: set[int] = set()
+        for kind, a in ops:
+            if kind == "fill":
+                c.fill(a, MoesiState.SHARED, None)
+            elif kind == "lookup":
+                c.lookup(a)
+            elif kind == "invalidate":
+                c.invalidate(a, retain=a in pinned)
+                if a not in pinned and c.lookup(a, touch=False) is None:
+                    pinned.discard(a)
+            elif kind == "pin":
+                if c.lookup(a, touch=False) is not None:
+                    c.pin(a)
+                    pinned.add(a)
+            elif kind == "unpin":
+                c.unpin(a)
+                pinned.discard(a)
+            elif kind == "drop":
+                c.drop(a)
+                pinned.discard(a)
+            c.check_invariants()
+            # Pinned lines are always resident.
+            for p in pinned:
+                assert c.lookup(p, touch=False) is not None

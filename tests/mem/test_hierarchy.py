@@ -1,0 +1,93 @@
+"""Memory-system tests: committed memory image, presence, latency walk."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ProtocolError
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.moesi import MoesiState
+
+
+@pytest.fixture
+def ms():
+    return MemorySystem(SystemConfig())
+
+
+class TestCommittedMemory:
+    def test_initial_value_is_zero_token(self, ms):
+        assert ms.mem_read_word(0x1000) == 0
+
+    def test_write_read_roundtrip(self, ms):
+        ms.mem_write_word(0x1000, 99)
+        assert ms.mem_read_word(0x1000) == 99
+
+    def test_unaligned_write_rejected(self, ms):
+        with pytest.raises(ProtocolError):
+            ms.mem_write_word(0x1001, 1)
+
+    def test_read_line_snapshot(self, ms):
+        ms.mem_write_word(0x1000, 7)
+        ms.mem_write_word(0x103C, 9)
+        line = ms.mem_read_line(0x1000)
+        assert len(line) == 16
+        assert line[0] == 7
+        assert line[15] == 9
+        assert line[1] == 0
+
+
+class TestPresence:
+    def test_valid_holders(self, ms):
+        ms.l1s[2].fill(0x1000, MoesiState.SHARED, [0] * 16)
+        ms.l1s[5].fill(0x1000, MoesiState.SHARED, [0] * 16)
+        assert ms.valid_holders(0x1000) == [2, 5]
+        assert ms.valid_holders(0x1000, exclude=2) == [5]
+
+    def test_retained_invalid_not_holder(self, ms):
+        ms.l1s[2].fill(0x1000, MoesiState.SHARED, [0] * 16)
+        ms.l1s[2].invalidate(0x1000, retain=True)
+        assert ms.valid_holders(0x1000) == []
+
+    def test_moesi_states_snapshot(self, ms):
+        ms.l1s[0].fill(0x1000, MoesiState.MODIFIED, [0] * 16)
+        states = ms.moesi_states(0x1000)
+        assert states[0] is MoesiState.MODIFIED
+        assert all(s is MoesiState.INVALID for s in states[1:])
+
+
+class TestLatency:
+    def test_l1_hit(self, ms):
+        assert ms.hit_latency().latency == 3
+        assert ms.hit_latency().level == "L1"
+
+    def test_memory_on_cold_miss(self, ms):
+        res = ms.fill_latency(0, 0x1000, remote_supplier=False)
+        assert res.latency == 210
+        assert res.level == "memory"
+
+    def test_l2_after_install(self, ms):
+        ms.install_lower_levels(0, 0x1000)
+        res = ms.fill_latency(0, 0x1000, remote_supplier=False)
+        assert res.latency == 15
+        assert res.level == "L2"
+
+    def test_l2_private_per_core(self, ms):
+        ms.install_lower_levels(0, 0x1000)
+        res = ms.fill_latency(1, 0x1000, remote_supplier=False)
+        assert res.level == "memory"
+
+    def test_remote_supplier_cost(self, ms):
+        res = ms.fill_latency(0, 0x1000, remote_supplier=True)
+        assert res.latency == SystemConfig().latency.cache_to_cache
+        assert res.level == "remote"
+
+    def test_l3_fallback_after_l2_eviction(self, ms):
+        ms.install_lower_levels(0, 0x1000)
+        # Evict from L2 by filling its set beyond associativity; L3 retains.
+        cfg = SystemConfig()
+        l2 = ms.l2s[0]
+        set_stride = cfg.l2.n_sets * 64
+        for k in range(1, cfg.l2.associativity + 1):
+            l2.fill(0x1000 + k * set_stride, MoesiState.SHARED, None)
+        res = ms.fill_latency(0, 0x1000, remote_supplier=False)
+        assert res.level == "L3"
+        assert res.latency == 50

@@ -1,0 +1,159 @@
+"""MOESI transition-function tests (exhaustive over the state space)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.mem.moesi import (
+    MoesiState,
+    can_read,
+    can_write_silently,
+    check_global_invariant,
+    on_invalidating_probe,
+    on_local_write,
+    on_non_invalidating_probe,
+    state_on_fill,
+    supplies_data,
+)
+
+ALL = list(MoesiState)
+VALID = [s for s in ALL if s is not MoesiState.INVALID]
+
+
+class TestPredicates:
+    def test_can_read_matrix(self):
+        assert {s for s in ALL if can_read(s)} == set(VALID)
+
+    def test_silent_write_only_m_e(self):
+        assert {s for s in ALL if can_write_silently(s)} == {
+            MoesiState.MODIFIED,
+            MoesiState.EXCLUSIVE,
+        }
+
+    def test_suppliers(self):
+        assert {s for s in ALL if supplies_data(s)} == {
+            MoesiState.MODIFIED,
+            MoesiState.OWNED,
+            MoesiState.EXCLUSIVE,
+        }
+
+
+class TestLocalWrite:
+    @pytest.mark.parametrize("state", VALID)
+    def test_write_yields_modified(self, state):
+        assert on_local_write(state) is MoesiState.MODIFIED
+
+    def test_write_to_invalid_rejected(self):
+        with pytest.raises(ProtocolError):
+            on_local_write(MoesiState.INVALID)
+
+
+class TestProbes:
+    def test_non_invalidating_transitions(self):
+        assert on_non_invalidating_probe(MoesiState.MODIFIED) is MoesiState.OWNED
+        assert on_non_invalidating_probe(MoesiState.EXCLUSIVE) is MoesiState.SHARED
+        assert on_non_invalidating_probe(MoesiState.OWNED) is MoesiState.OWNED
+        assert on_non_invalidating_probe(MoesiState.SHARED) is MoesiState.SHARED
+        assert on_non_invalidating_probe(MoesiState.INVALID) is MoesiState.INVALID
+
+    @pytest.mark.parametrize("state", ALL)
+    def test_invalidating_always_invalidates(self, state):
+        assert on_invalidating_probe(state) is MoesiState.INVALID
+
+    @pytest.mark.parametrize("state", ALL)
+    def test_non_invalidating_keeps_validity(self, state):
+        out = on_non_invalidating_probe(state)
+        assert can_read(out) == can_read(state)
+
+    @pytest.mark.parametrize("state", ALL)
+    def test_non_invalidating_removes_silent_write_right(self, state):
+        # After sharing with a remote reader, no copy may write silently.
+        assert not can_write_silently(on_non_invalidating_probe(state))
+
+
+class TestFillStates:
+    def test_fill_for_write_is_modified(self):
+        assert state_on_fill(True, True) is MoesiState.MODIFIED
+        assert state_on_fill(False, True) is MoesiState.MODIFIED
+
+    def test_fill_shared_vs_exclusive(self):
+        assert state_on_fill(True, False) is MoesiState.SHARED
+        assert state_on_fill(False, False) is MoesiState.EXCLUSIVE
+
+
+class TestGlobalInvariant:
+    def test_single_modified_ok(self):
+        check_global_invariant([MoesiState.MODIFIED] + [MoesiState.INVALID] * 7)
+
+    def test_owner_with_sharers_ok(self):
+        check_global_invariant(
+            [MoesiState.OWNED, MoesiState.SHARED, MoesiState.SHARED]
+        )
+
+    def test_two_modified_rejected(self):
+        with pytest.raises(ProtocolError):
+            check_global_invariant([MoesiState.MODIFIED, MoesiState.MODIFIED])
+
+    def test_modified_plus_shared_rejected(self):
+        with pytest.raises(ProtocolError):
+            check_global_invariant([MoesiState.MODIFIED, MoesiState.SHARED])
+
+    def test_exclusive_plus_exclusive_rejected(self):
+        with pytest.raises(ProtocolError):
+            check_global_invariant([MoesiState.EXCLUSIVE, MoesiState.EXCLUSIVE])
+
+    def test_two_owners_rejected(self):
+        with pytest.raises(ProtocolError):
+            check_global_invariant([MoesiState.OWNED, MoesiState.OWNED])
+
+    def test_all_shared_ok(self):
+        check_global_invariant([MoesiState.SHARED] * 8)
+
+
+@st.composite
+def _global_states(draw):
+    """Random legal global configurations of one line over 4 cores."""
+    shape = draw(st.sampled_from(["none", "m", "e", "o+s", "s"]))
+    states = [MoesiState.INVALID] * 4
+    if shape == "m":
+        states[draw(st.integers(0, 3))] = MoesiState.MODIFIED
+    elif shape == "e":
+        states[draw(st.integers(0, 3))] = MoesiState.EXCLUSIVE
+    elif shape == "o+s":
+        owner = draw(st.integers(0, 3))
+        states[owner] = MoesiState.OWNED
+        for i in range(4):
+            if i != owner and draw(st.booleans()):
+                states[i] = MoesiState.SHARED
+    elif shape == "s":
+        for i in range(4):
+            if draw(st.booleans()):
+                states[i] = MoesiState.SHARED
+    return states
+
+
+class TestClosureUnderProbes:
+    """Applying a probe from any requester to a legal global configuration
+    must yield another legal configuration — the protocol is closed."""
+
+    @given(_global_states(), st.integers(0, 3))
+    def test_invalidating_probe_closure(self, states, requester):
+        check_global_invariant(states)
+        out = list(states)
+        for i in range(4):
+            if i != requester:
+                out[i] = on_invalidating_probe(out[i])
+        out[requester] = MoesiState.MODIFIED  # requester fills for write
+        check_global_invariant(out)
+
+    @given(_global_states(), st.integers(0, 3))
+    def test_non_invalidating_probe_closure(self, states, requester):
+        check_global_invariant(states)
+        out = list(states)
+        for i in range(4):
+            if i != requester:
+                out[i] = on_non_invalidating_probe(out[i])
+        had_sharers = any(can_read(s) for i, s in enumerate(out) if i != requester)
+        out[requester] = state_on_fill(had_sharers, for_write=False)
+        check_global_invariant(out)

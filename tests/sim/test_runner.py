@@ -1,0 +1,75 @@
+"""Runner API tests."""
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.sim.runner import compare_systems, run_scripts, run_workload
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    w = SyntheticWorkload(txns_per_core=30, n_records=128)
+    return compare_systems(w, seed=4)
+
+
+class TestCompareSystems:
+    def test_all_three_schemes(self, small_results):
+        assert set(small_results) == {"asf", "subblock", "perfect"}
+
+    def test_scheme_names_propagated(self, small_results):
+        assert small_results["asf"].scheme == "asf"
+        assert small_results["subblock"].scheme == "subblock4"
+        assert small_results["perfect"].scheme == "perfect"
+
+    def test_same_program_same_commits(self, small_results):
+        commits = {r.stats.txn_commits for r in small_results.values()}
+        assert len(commits) == 1
+
+    def test_perfect_has_zero_false(self, small_results):
+        assert small_results["perfect"].stats.conflicts.total_false == 0
+
+    def test_baseline_has_false_conflicts(self, small_results):
+        assert small_results["asf"].stats.conflicts.total_false > 0
+
+    def test_subblock_reduces_false(self, small_results):
+        b = small_results["asf"].stats.conflicts.total_false
+        s = small_results["subblock"].stats.conflicts.total_false
+        assert s < b
+
+
+class TestDerivedMetrics:
+    def test_speedup_identity(self, small_results):
+        base = small_results["asf"]
+        assert base.speedup_over(base) == 0.0
+
+    def test_reduction_identity(self, small_results):
+        base = small_results["asf"]
+        assert base.conflict_reduction_over(base) == 0.0
+        assert base.false_reduction_over(base) == 0.0
+
+    def test_false_rate_property(self, small_results):
+        base = small_results["asf"]
+        assert base.false_rate == base.stats.conflicts.false_rate
+
+
+class TestRunWorkload:
+    def test_default_config(self):
+        w = SyntheticWorkload(txns_per_core=10, n_records=64)
+        res = run_workload(w, seed=2)
+        assert res.workload == "synthetic"
+        assert res.stats.txn_commits == 80
+
+    def test_explicit_scheme(self):
+        w = SyntheticWorkload(txns_per_core=10, n_records=64)
+        cfg = default_system(DetectionScheme.SUBBLOCK, 8)
+        res = run_workload(w, config=cfg, seed=2)
+        assert res.scheme == "subblock8"
+
+
+class TestRunScripts:
+    def test_custom_name(self):
+        w = SyntheticWorkload(txns_per_core=5, n_records=64)
+        scripts = w.build(8, 1)
+        res = run_scripts(scripts, default_system(), 1, workload_name="x")
+        assert res.workload == "x"

@@ -1,0 +1,126 @@
+"""Statistics-collector tests."""
+
+from repro.htm.conflict import ConflictRecord, ConflictType
+from repro.sim.stats import ConflictCounts, StatsCollector
+
+
+def rec(time=10, is_false=True, ctype=ConflictType.WAR, line_index=3, forced=False):
+    return ConflictRecord(
+        time=time,
+        requester_core=0,
+        victim_core=1,
+        requester_txn=1,
+        victim_txn=2,
+        line_addr=line_index * 64,
+        line_index=line_index,
+        ctype=ctype,
+        is_false=is_false,
+        requester_is_write=True,
+        requester_mask=0xFF,
+        victim_read_mask=0xFF00,
+        victim_write_mask=0,
+        forced_waw=forced,
+    )
+
+
+class TestConflictCounts:
+    def test_add_and_totals(self):
+        c = ConflictCounts()
+        c.add(ConflictType.WAR, True)
+        c.add(ConflictType.RAW, True)
+        c.add(ConflictType.WAW, False)
+        assert c.total == 3
+        assert c.total_false == 2
+        assert c.total_true == 1
+        assert c.false_rate == 2 / 3
+
+    def test_empty_rate_zero(self):
+        assert ConflictCounts().false_rate == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        c = ConflictCounts()
+        for _ in range(3):
+            c.add(ConflictType.WAR, True)
+        c.add(ConflictType.RAW, True)
+        shares = c.false_breakdown()
+        assert abs(sum(shares.values()) - 1.0) < 1e-12
+        assert shares["WAR"] == 0.75
+
+    def test_breakdown_empty(self):
+        assert ConflictCounts().false_breakdown() == {
+            "WAR": 0.0,
+            "RAW": 0.0,
+            "WAW": 0.0,
+        }
+
+
+class TestStatsCollector:
+    def test_conflict_recording(self):
+        s = StatsCollector()
+        s.record_conflict(rec(is_false=True))
+        s.record_conflict(rec(is_false=False))
+        assert s.conflicts.total == 2
+        assert len(s.false_conflict_times) == 1
+        assert s.false_by_line[3] == 1
+
+    def test_event_list_optional(self):
+        s = StatsCollector(record_events=False)
+        s.record_conflict(rec())
+        assert s.conflict_events == []
+        s2 = StatsCollector(record_events=True)
+        s2.record_conflict(rec())
+        assert len(s2.conflict_events) == 1
+
+    def test_forced_waw_counter(self):
+        s = StatsCollector()
+        s.record_conflict(rec(forced=True))
+        assert s.forced_waw_aborts == 1
+
+    def test_txn_accounting(self):
+        s = StatsCollector()
+        s.record_txn_start(5, attempt=1, static_id=0)
+        s.record_txn_start(9, attempt=2, static_id=0)
+        s.record_commit()
+        assert s.txn_attempts == 2
+        assert s.txn_commits == 1
+        assert s.avg_retries == 2.0
+        assert s.retries_by_static[0] == 1
+
+    def test_abort_accounting(self):
+        s = StatsCollector()
+        s.record_abort("conflict_false", wasted=40)
+        s.record_abort("capacity", wasted=10)
+        s.record_abort("user", wasted=5)
+        s.record_abort("conflict_true", wasted=1)
+        assert s.total_aborts == 4
+        assert s.wasted_cycles == 56
+
+    def test_access_histograms(self):
+        s = StatsCollector()
+        s.record_access(0, is_write=False, hit_l1=True)
+        s.record_access(8, is_write=True, hit_l1=False)
+        s.record_access(0, is_write=True, hit_l1=True)
+        assert s.offset_histogram() == [(0, 2), (8, 1)]
+        assert s.l1_hits == 2
+        assert s.l1_misses == 1
+
+    def test_cumulative_series_monotone(self):
+        s = StatsCollector()
+        for t in (5, 100, 100, 900):
+            s.false_conflict_times.append(t)
+        s.execution_cycles = 1000
+        series = s.cumulative_false_series(10)
+        counts = [c for _, c in series]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_cumulative_series_empty(self):
+        s = StatsCollector()
+        s.execution_cycles = 100
+        assert all(c == 0 for _, c in s.cumulative_false_series(5))
+
+    def test_summary_keys(self):
+        s = StatsCollector()
+        summary = s.summary()
+        for key in ("txn_commits", "false_rate", "execution_cycles"):
+            assert key in summary

@@ -1,0 +1,71 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["run", "vacation"],
+            ["suite"],
+            ["overhead"],
+            ["sweep", "ssca2"],
+            ["ablate", "genome"],
+            ["save-scripts", "ssca2", "x.jsonl"],
+            ["replay", "x.jsonl"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bayes"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vacation" in out and "utilitymine" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--subblocks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "1.17%" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "ssca2", "--txns", "12", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "asf" in out and "subblock" in out and "perfect" in out
+        assert "improvement" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "ssca2", "--txns", "10", "--counts", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "N=1" in out and "N=4" in out
+
+    def test_ablate_small(self, capsys):
+        assert main(["ablate", "ssca2", "--txns", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "dirty on" in out and "forced-WAW" in out
+
+    def test_save_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "p.jsonl")
+        assert main(["save-scripts", "ssca2", path, "--txns", "8"]) == 0
+        assert main(["replay", path, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "replay" in out and "subblock" in out
+
+    def test_run_all_schemes(self, capsys):
+        assert main(["run", "ssca2", "--txns", "8", "--all-schemes"]) == 0
+        assert "decoupled" in capsys.readouterr().out
+
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert "vacation" in repro.BENCHMARK_NAMES

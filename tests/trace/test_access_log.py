@@ -1,0 +1,100 @@
+"""Access-log instrumentation tests."""
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.trace.access_log import attach_access_log
+from tests.conftest import TxnDriver, make_machine
+
+L = 0x60000
+
+
+@pytest.fixture
+def setup():
+    machine = make_machine(default_system(DetectionScheme.SUBBLOCK, 4))
+    log = attach_access_log(machine)
+    return TxnDriver(machine), log
+
+
+class TestLogging:
+    def test_events_recorded(self, setup):
+        d, log = setup
+        d.begin(0)
+        d.read(0, L, 8)
+        d.write(0, L + 8, 8)
+        d.commit(0)
+        assert len(log) == 2
+        assert not log.events[0].is_write
+        assert log.events[1].is_write
+
+    def test_txn_attribution(self, setup):
+        d, log = setup
+        t = d.begin(0)
+        d.read(0, L, 8)
+        assert log.events[0].txn_uid == t.uid
+
+    def test_non_txn_marked(self, setup):
+        d, log = setup
+        d.read(0, L, 8)  # no transaction
+        assert log.events[0].txn_uid == -1
+
+    def test_latency_and_hit_recorded(self, setup):
+        d, log = setup
+        d.begin(0)
+        d.read(0, L, 8)
+        d.read(0, L, 8)
+        assert log.events[0].latency == 210 and not log.events[0].hit_l1
+        assert log.events[1].latency == 3 and log.events[1].hit_l1
+
+    def test_conflicts_counted(self, setup):
+        d, log = setup
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L + 4, 8)  # overlapping: true conflict
+        assert log.events[-1].n_conflicts == 1
+
+    def test_behaviour_unchanged(self):
+        """Instrumentation must not perturb results."""
+        from repro.sim.runner import run_scripts
+        from repro.workloads.registry import get_workload
+        from repro.sim.engine import SimulationEngine
+
+        scripts = get_workload("ssca2", 10).build(8, 4)
+        cfg = default_system()
+        plain = run_scripts(scripts, cfg, 4).stats.summary()
+        engine = SimulationEngine(cfg, scripts, seed=4, check_atomicity=True)
+        log = attach_access_log(engine.machine)
+        logged = engine.run().summary()
+        assert plain == logged
+        assert len(log) > 0
+
+
+class TestQueries:
+    def test_for_core_and_line(self, setup):
+        d, log = setup
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.read(1, L + 0x40, 8)
+        assert len(log.for_core(0)) == 1
+        assert len(log.for_line(L)) == 1
+        assert len(log.for_line(L + 17)) == 1  # any address within the line
+
+    def test_window(self, setup):
+        d, log = setup
+        d.begin(0)
+        d.read(0, L, 8)  # happens at driver clock ~1
+        d.tick(1000)
+        d.read(0, L + 0x40, 8)
+        early = log.window(0, 500)
+        late = log.window(500, 10**9)
+        assert len(early) == 1 and len(late) == 1
+
+    def test_conflicts_query(self, setup):
+        d, log = setup
+        d.begin(0)
+        d.read(0, L, 8)
+        d.begin(1)
+        d.write(1, L, 8)
+        assert len(log.conflicts()) == 1

@@ -1,0 +1,194 @@
+"""Unit + property tests for the byte/sub-block mask helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_count,
+    byte_mask,
+    iter_set_bits,
+    lowest_set_bit,
+    mask_covers,
+    mask_to_ranges,
+    masks_overlap,
+    reduce_mask,
+    spread_mask,
+)
+
+# Strategy: (offset, size) pairs that fit in a 64-byte line.
+_offsets = st.integers(min_value=0, max_value=63)
+_accesses = _offsets.flatmap(
+    lambda off: st.tuples(st.just(off), st.integers(1, 64 - off))
+)
+_subcounts = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+_masks = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestByteMask:
+    def test_full_line(self):
+        assert byte_mask(0, 64) == (1 << 64) - 1
+
+    def test_single_byte(self):
+        assert byte_mask(5, 1) == 1 << 5
+
+    def test_middle_run(self):
+        assert byte_mask(8, 8) == 0xFF << 8
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            byte_mask(0, 0)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            byte_mask(60, 8)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            byte_mask(-1, 4)
+
+    @given(_accesses)
+    def test_popcount_equals_size(self, acc):
+        off, size = acc
+        assert bit_count(byte_mask(off, size)) == size
+
+    @given(_accesses)
+    def test_mask_is_contiguous(self, acc):
+        off, size = acc
+        ranges = mask_to_ranges(byte_mask(off, size))
+        assert ranges == [(off, size)]
+
+
+class TestOverlapAndCover:
+    def test_disjoint(self):
+        assert not masks_overlap(byte_mask(0, 8), byte_mask(8, 8))
+
+    def test_adjacent_not_overlapping(self):
+        assert not masks_overlap(byte_mask(0, 4), byte_mask(4, 4))
+
+    def test_partial_overlap(self):
+        assert masks_overlap(byte_mask(0, 8), byte_mask(4, 8))
+
+    def test_cover_reflexive(self):
+        m = byte_mask(8, 16)
+        assert mask_covers(m, m)
+
+    def test_cover_strict(self):
+        assert mask_covers(byte_mask(0, 16), byte_mask(4, 4))
+        assert not mask_covers(byte_mask(4, 4), byte_mask(0, 16))
+
+    @given(_masks, _masks)
+    def test_overlap_symmetric(self, a, b):
+        assert masks_overlap(a, b) == masks_overlap(b, a)
+
+    @given(_masks, _masks)
+    def test_cover_implies_overlap_or_empty(self, a, b):
+        if mask_covers(a, b) and b != 0:
+            assert masks_overlap(a, b)
+
+
+class TestBitIteration:
+    def test_lowest_of_empty(self):
+        assert lowest_set_bit(0) == -1
+
+    def test_lowest(self):
+        assert lowest_set_bit(0b101000) == 3
+
+    def test_iter_order(self):
+        assert list(iter_set_bits(0b1010010)) == [1, 4, 6]
+
+    @given(_masks)
+    def test_iter_reconstructs_mask(self, m):
+        assert sum(1 << b for b in iter_set_bits(m)) == m
+
+    @given(_masks)
+    def test_iter_count_matches_popcount(self, m):
+        assert len(list(iter_set_bits(m))) == bit_count(m)
+
+
+class TestReduceSpread:
+    def test_reduce_identity_at_byte_granularity(self):
+        m = byte_mask(3, 9)
+        assert reduce_mask(m, 64, 64) == m
+
+    def test_reduce_to_single_block(self):
+        assert reduce_mask(byte_mask(0, 64), 64, 1) == 1
+
+    def test_reduce_examples(self):
+        # bytes 12..19 straddle sub-blocks 0 and 1 at 16-byte granularity
+        assert reduce_mask(byte_mask(12, 8), 64, 4) == 0b11
+        assert reduce_mask(byte_mask(0, 4), 64, 4) == 0b01
+        assert reduce_mask(byte_mask(63, 1), 64, 4) == 0b1000
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_mask(1, 64, 3)
+        with pytest.raises(ValueError):
+            spread_mask(1, 64, 5)
+
+    def test_spread_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            spread_mask(1 << 4, 64, 4)
+
+    @given(_accesses, _subcounts)
+    def test_spread_covers_original(self, acc, n):
+        off, size = acc
+        m = byte_mask(off, size)
+        assert mask_covers(spread_mask(reduce_mask(m, 64, n), 64, n), m)
+
+    @given(_masks, _subcounts)
+    def test_reduce_monotone_in_mask(self, m, n):
+        sub = reduce_mask(m, 64, n)
+        assert mask_covers(reduce_mask(m | 1, 64, n), sub & reduce_mask(m, 64, n))
+
+    @given(_accesses, _accesses, _subcounts)
+    def test_byte_overlap_implies_subblock_overlap(self, a, b, n):
+        """Coarsening never loses a genuine overlap — the property that
+        guarantees sub-blocking cannot miss true conflicts."""
+        ma = byte_mask(*a)
+        mb = byte_mask(*b)
+        if masks_overlap(ma, mb):
+            assert masks_overlap(reduce_mask(ma, 64, n), reduce_mask(mb, 64, n))
+
+    @given(_accesses, _accesses)
+    def test_granularity_monotonicity(self, a, b):
+        """If masks overlap at finer granularity they overlap at coarser —
+        detection strictly weakens as sub-blocks shrink in count."""
+        ma = byte_mask(*a)
+        mb = byte_mask(*b)
+        counts = [64, 16, 8, 4, 2, 1]
+        overlapping = [
+            masks_overlap(reduce_mask(ma, 64, n), reduce_mask(mb, 64, n))
+            for n in counts
+        ]
+        # once True (from fine to coarse), stays True
+        seen = False
+        for flag in overlapping:
+            seen = seen or flag
+            assert flag == seen or flag
+
+
+class TestMaskToRanges:
+    def test_empty(self):
+        assert mask_to_ranges(0) == []
+
+    def test_two_runs(self):
+        assert mask_to_ranges(0b1100_0011) == [(0, 2), (6, 2)]
+
+    @given(_masks)
+    def test_ranges_partition_mask(self, m):
+        ranges = mask_to_ranges(m)
+        rebuilt = 0
+        for start, length in ranges:
+            run = ((1 << length) - 1) << start
+            assert rebuilt & run == 0  # disjoint
+            rebuilt |= run
+        assert rebuilt == m
+
+    @given(_masks)
+    def test_ranges_are_maximal(self, m):
+        ranges = mask_to_ranges(m)
+        for start, length in ranges:
+            if start > 0:
+                assert not m & (1 << (start - 1))
+            assert not m & (1 << (start + length))

@@ -1,0 +1,79 @@
+"""Byte-interval helper tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import ByteInterval, intervals_overlap, merge_intervals
+
+_ivs = st.builds(
+    ByteInterval, st.integers(0, 200), st.integers(1, 64)
+)
+
+
+class TestByteInterval:
+    def test_end(self):
+        assert ByteInterval(8, 8).end == 16
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ByteInterval(0, 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ByteInterval(-1, 4)
+
+    def test_adjacent_do_not_overlap(self):
+        assert not ByteInterval(0, 8).overlaps(ByteInterval(8, 8))
+
+    def test_contains(self):
+        assert ByteInterval(0, 16).contains(ByteInterval(4, 4))
+        assert not ByteInterval(4, 4).contains(ByteInterval(0, 16))
+
+    def test_shifted(self):
+        assert ByteInterval(4, 4).shifted(12) == ByteInterval(16, 4)
+
+    @given(_ivs, _ivs)
+    def test_overlap_symmetric(self, a, b):
+        assert intervals_overlap(a, b) == intervals_overlap(b, a)
+
+    @given(_ivs)
+    def test_self_overlap(self, iv):
+        assert iv.overlaps(iv)
+
+
+class TestMerge:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        ivs = [ByteInterval(0, 4), ByteInterval(10, 4)]
+        assert merge_intervals(ivs) == ivs
+
+    def test_overlapping_coalesced(self):
+        got = merge_intervals([ByteInterval(0, 8), ByteInterval(4, 8)])
+        assert got == [ByteInterval(0, 12)]
+
+    def test_adjacent_coalesced(self):
+        got = merge_intervals([ByteInterval(0, 4), ByteInterval(4, 4)])
+        assert got == [ByteInterval(0, 8)]
+
+    def test_contained_absorbed(self):
+        got = merge_intervals([ByteInterval(0, 16), ByteInterval(4, 4)])
+        assert got == [ByteInterval(0, 16)]
+
+    @given(st.lists(_ivs, max_size=12))
+    def test_merge_preserves_coverage(self, ivs):
+        def covered(intervals):
+            out = set()
+            for iv in intervals:
+                out.update(range(iv.start, iv.end))
+            return out
+
+        assert covered(merge_intervals(ivs)) == covered(ivs)
+
+    @given(st.lists(_ivs, max_size=12))
+    def test_merged_are_sorted_disjoint(self, ivs):
+        merged = merge_intervals(ivs)
+        for a, b in zip(merged, merged[1:]):
+            assert a.end < b.start

@@ -1,0 +1,111 @@
+"""Deterministic RNG stream tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_not_concatenation(self):
+        # ("ab",) and ("a", "b") must differ: labels are delimited.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    @given(st.integers(0, 2**63), st.text(max_size=20))
+    def test_64bit_range(self, master, label):
+        s = derive_seed(master, label)
+        assert 0 <= s < 2**64
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(50)] == [
+            b.randint(0, 100) for _ in range(50)
+        ]
+
+    def test_children_independent(self):
+        root = DeterministicRng(7)
+        a = root.child("x")
+        b = root.child("y")
+        assert [a.randint(0, 1000) for _ in range(20)] != [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_child_does_not_consume_parent(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        a.child("x")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(1)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_chance_roughly_calibrated(self):
+        rng = DeterministicRng(1)
+        hits = sum(rng.chance(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_geometric_bounds(self):
+        rng = DeterministicRng(3)
+        draws = [rng.geometric(10, cap=100) for _ in range(1000)]
+        assert all(1 <= d <= 100 for d in draws)
+
+    def test_geometric_mean(self):
+        rng = DeterministicRng(3)
+        draws = [rng.geometric(50) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 40 < mean < 60
+
+    def test_geometric_mean_one(self):
+        rng = DeterministicRng(3)
+        assert all(rng.geometric(1.0) == 1 for _ in range(20))
+
+    def test_geometric_rejects_submean(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DeterministicRng(1).geometric(0.5)
+
+    def test_zipf_range(self):
+        rng = DeterministicRng(5)
+        draws = [rng.zipf_index(10, 1.0) for _ in range(500)]
+        assert all(0 <= d < 10 for d in draws)
+
+    def test_zipf_skew(self):
+        rng = DeterministicRng(5)
+        draws = [rng.zipf_index(100, 1.2) for _ in range(5000)]
+        # index 0 must dominate any tail index
+        assert draws.count(0) > draws.count(50) + draws.count(99)
+
+    def test_zipf_rejects_empty(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DeterministicRng(1).zipf_index(0)
+
+    def test_zipf_cache_isolated_between_instances(self):
+        a = DeterministicRng(5)
+        a.zipf_index(10, 1.0)
+        b = DeterministicRng(5)
+        # Same stream state regardless of a's cache usage.
+        assert b.zipf_index(10, 1.0) == DeterministicRng(5).zipf_index(10, 1.0)
+
+    @given(st.integers(0, 2**32), st.integers(1, 50))
+    def test_sample_no_duplicates(self, seed, k):
+        rng = DeterministicRng(seed)
+        pop = list(range(100))
+        got = rng.sample(pop, k)
+        assert len(set(got)) == k

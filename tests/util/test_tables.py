@@ -1,0 +1,74 @@
+"""ASCII rendering tests."""
+
+from repro.util.tables import format_series, format_table, percent, spark
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(0.564) == "56.4%"
+
+    def test_digits(self):
+        assert percent(0.5, digits=0) == "50%"
+
+    def test_negative(self):
+        assert percent(-0.001) == "-0.1%"
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        out = format_table(("a", "bb"), [(1, 2), (33, 4)])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[2].split() == ["1", "2"]
+        assert lines[3].split() == ["33", "4"]
+
+    def test_title(self):
+        out = format_table(("x",), [("y",)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_column_alignment(self):
+        out = format_table(("name", "v"), [("long-name", 1), ("s", 22)])
+        lines = out.splitlines()
+        # All rows have the same width up to trailing spaces.
+        widths = {len(line.rstrip()) <= len(lines[1]) for line in lines}
+        assert widths == {True}
+
+    def test_empty_rows(self):
+        out = format_table(("a",), [])
+        assert "a" in out
+
+
+class TestSpark:
+    def test_empty(self):
+        assert spark([]) == ""
+
+    def test_constant_series(self):
+        out = spark([5, 5, 5])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_monotone_series_monotone_glyphs(self):
+        out = spark([0, 1, 2, 3, 4])
+        assert list(out) == sorted(out)
+
+    def test_extremes(self):
+        out = spark([0, 100])
+        assert out[0] == " " or ord(out[0]) < ord(out[1])
+
+
+class TestFormatSeries:
+    def test_contains_names_and_bounds(self):
+        out = format_series({"s": [1.0, 2.0, 3.0]}, title="T")
+        assert "T" in out
+        assert "s" in out
+        assert "[1 .. 3]" in out
+
+    def test_downsamples_long_series(self):
+        out = format_series({"s": list(range(1000))}, width=40)
+        line = [ln for ln in out.splitlines() if ln.startswith("s")][0]
+        # sparkline segment bounded by width
+        assert len(line) < 40 + 40
+
+    def test_empty_series(self):
+        out = format_series({"s": []})
+        assert "s" in out

@@ -1,0 +1,78 @@
+"""Heap-layout allocator tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.allocator import HeapAllocator, REGION_SPACING
+
+
+@pytest.fixture
+def heap():
+    return HeapAllocator()
+
+
+class TestRegions:
+    def test_regions_disjoint(self, heap):
+        a = heap.region("a")
+        b = heap.region("b")
+        assert abs(a.base - b.base) >= REGION_SPACING
+
+    def test_region_reuse(self, heap):
+        assert heap.region("x") is heap.region("x")
+
+    def test_bump_allocation(self, heap):
+        reg = heap.region("x")
+        p1 = reg.alloc(10)
+        p2 = reg.alloc(10)
+        assert p2 >= p1 + 10
+
+    def test_alignment(self, heap):
+        reg = heap.region("x")
+        reg.alloc(3)
+        p = reg.alloc(8, align=64)
+        assert p % 64 == 0
+
+    def test_exhaustion(self, heap):
+        reg = heap.region("x")
+        with pytest.raises(WorkloadError):
+            reg.alloc(REGION_SPACING + 1)
+
+    def test_rejects_bad_args(self, heap):
+        reg = heap.region("x")
+        with pytest.raises(WorkloadError):
+            reg.alloc(0)
+        with pytest.raises(WorkloadError):
+            reg.alloc(8, align=3)
+
+
+class TestRecordArrays:
+    def test_contiguous_records(self, heap):
+        addrs = heap.alloc_record_array("r", 10, 32)
+        for a, b in zip(addrs, addrs[1:]):
+            assert b - a == 32
+
+    def test_default_alignment_packs_lines(self, heap):
+        """32-byte records align to 32 so exactly two share each line —
+        the false-sharing substrate."""
+        addrs = heap.alloc_record_array("r", 8, 32)
+        assert addrs[0] % 32 == 0
+        lines = heap.lines_of(addrs)
+        assert len(lines) == 4
+
+    def test_16_byte_records_four_per_line(self, heap):
+        addrs = heap.alloc_record_array("r", 16, 16)
+        assert len(heap.lines_of(addrs)) == 4
+
+    def test_rejects_empty(self, heap):
+        with pytest.raises(WorkloadError):
+            heap.alloc_record_array("r", 0, 16)
+
+    def test_field_helper(self, heap):
+        [rec] = heap.alloc_record_array("r", 1, 32)
+        f = heap.field(rec, 8, 8)
+        assert f.addr == rec + 8
+        assert f.size == 8
+
+    def test_field_rejects_bad(self, heap):
+        with pytest.raises(WorkloadError):
+            heap.field(0, -1, 8)

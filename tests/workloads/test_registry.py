@@ -1,0 +1,73 @@
+"""Registry / Table III tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    all_workloads,
+    get_workload,
+    workload_table,
+)
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert BENCHMARK_NAMES == (
+            "intruder",
+            "kmeans",
+            "labyrinth",
+            "ssca2",
+            "vacation",
+            "genome",
+            "scalparc",
+            "apriori",
+            "fluidanimate",
+            "utilitymine",
+        )
+
+    def test_get_by_name(self):
+        w = get_workload("vacation", 10)
+        assert w.name == "vacation"
+        assert w.txns_per_core == 10
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("bayes")  # excluded by the paper, not modelled
+
+    def test_all_workloads(self):
+        ws = all_workloads(16)
+        assert [w.name for w in ws] == list(BENCHMARK_NAMES)
+
+    def test_labyrinth_scaled_down(self):
+        """Long transactions: the registry runs fewer of them."""
+        lab = get_workload("labyrinth", 400)
+        assert lab.txns_per_core < 400
+
+
+class TestTable3:
+    def test_descriptions_match_paper(self):
+        rows = dict(workload_table())
+        assert rows["intruder"] == "network intrusion detection"
+        assert rows["kmeans"] == "K-means clustering"
+        assert rows["labyrinth"] == "maze routing"
+        assert rows["vacation"] == "client/server travel reservation system"
+        assert rows["genome"] == "gene sequencing"
+        assert "mining" in rows["apriori"]
+        assert "mining" in rows["utilitymine"]
+        assert "fluid" in rows["fluidanimate"]
+        assert "tree" in rows["scalparc"]
+        assert "graph" in rows["ssca2"]
+
+    def test_suite_attribution(self):
+        suites = {w.name: w.info.suite for w in all_workloads(8)}
+        assert suites["vacation"] == "STAMP"
+        assert suites["apriori"] == "RMS-TM"
+        assert suites["scalparc"] == "RMS-TM"
+        assert suites["utilitymine"] == "RMS-TM"
+        assert suites["fluidanimate"] == "RMS-TM"
+
+    def test_field_grain_metadata(self):
+        grains = {w.name: w.info.field_bytes for w in all_workloads(8)}
+        assert grains["kmeans"] == 4
+        assert all(g == 8 for n, g in grains.items() if n != "kmeans")

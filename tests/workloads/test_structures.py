@@ -1,0 +1,196 @@
+"""Traced data-structure tests: real invariants AND valid traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.htm.ops import OpKind
+from repro.workloads.allocator import HeapAllocator
+from repro.workloads.structures.hashtable import TracedHashTable
+from repro.workloads.structures.queuebuf import TracedFifoQueue
+from repro.workloads.structures.rbtree import NODE_BYTES, TracedRbTree
+
+
+def tree():
+    return TracedRbTree(HeapAllocator())
+
+
+class TestRbTreeStructure:
+    def test_empty_invariants(self):
+        tree().check_invariants()
+
+    def test_sorted_iteration(self):
+        t = tree()
+        for k in (5, 1, 9, 3, 7):
+            t.insert(k)
+        assert t.keys() == [1, 3, 5, 7, 9]
+
+    def test_duplicate_insert_updates(self):
+        t = tree()
+        t.insert(5)
+        t.insert(5)
+        assert t.size == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+    def test_invariants_after_random_inserts(self, keys):
+        t = tree()
+        for k in keys:
+            t.insert(k)
+            t.check_invariants()
+        assert t.keys() == sorted(set(keys))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300, unique=True))
+    def test_balanced_height(self, keys):
+        """Red-black trees bound the search-path length logarithmically:
+        lookup traces must stay short."""
+        import math
+
+        t = tree()
+        for k in keys:
+            t.insert(k)
+        ops, addr = t.lookup(keys[-1])
+        assert addr is not None
+        # <= 2*log2(n+1) node visits, ~2 reads per visit + value read.
+        limit = 2 * (2 * math.log2(len(keys) + 1) + 1) + 1
+        assert len(ops) <= limit
+
+
+class TestRbTreeTraces:
+    def test_lookup_trace_is_reads_only(self):
+        t = tree()
+        for k in range(16):
+            t.insert(k)
+        ops, _ = t.lookup(7)
+        assert ops
+        assert all(op.kind is OpKind.READ for op in ops)
+
+    def test_update_ends_with_value_write(self):
+        t = tree()
+        t.insert(4)
+        ops = t.update_value(4)
+        assert ops[-1].kind is OpKind.WRITE
+        assert ops[-1].size == 8
+
+    def test_update_missing_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            tree().update_value(1)
+
+    def test_trace_addresses_belong_to_nodes(self):
+        t = tree()
+        for k in range(64):
+            t.insert(k)
+        node_starts = set(t.node_addrs())
+        ops, _ = t.lookup(33)
+        for op in ops:
+            base = op.addr - (op.addr % NODE_BYTES)
+            assert base in node_starts
+
+    def test_nodes_pack_two_per_line(self):
+        t = tree()
+        for k in range(8):
+            t.insert(k)
+        addrs = sorted(t.node_addrs())
+        lines = {a // 64 for a in addrs}
+        assert len(lines) <= (len(addrs) + 1) // 2
+
+    def test_insert_trace_contains_link_write(self):
+        t = tree()
+        t.insert(10)
+        ops = t.insert(5)
+        assert any(op.kind is OpKind.WRITE for op in ops)
+
+    def test_root_path_shared_across_lookups(self):
+        """Every lookup traverses the root — the hot-line phenomenon."""
+        t = tree()
+        for k in range(128):
+            t.insert(k)
+        root_addr = t.root.addr
+        for key in (0, 64, 127):
+            ops, _ = t.lookup(key)
+            assert any(
+                op.addr - (op.addr % NODE_BYTES) == root_addr for op in ops
+            )
+
+
+class TestHashTable:
+    def test_insert_lookup_roundtrip(self):
+        h = TracedHashTable(HeapAllocator(), n_buckets=32)
+        _, inserted = h.insert(42)
+        assert inserted
+        _, found = h.lookup(42)
+        assert found
+        _, missing = h.lookup(43)
+        assert not missing
+
+    def test_duplicate_insert_noop(self):
+        h = TracedHashTable(HeapAllocator(), n_buckets=32)
+        h.insert(1)
+        _, inserted = h.insert(1)
+        assert not inserted
+        assert h.size == 1
+
+    def test_update_missing_rejected(self):
+        with pytest.raises(WorkloadError):
+            TracedHashTable(HeapAllocator()).update(9)
+
+    def test_insert_trace_shape(self):
+        h = TracedHashTable(HeapAllocator(), n_buckets=4)
+        ops, _ = h.insert(1)
+        # head read first, head write last (the claim).
+        assert ops[0].kind is OpKind.READ
+        assert ops[-1].kind is OpKind.WRITE
+
+    def test_chain_walk_grows_with_collisions(self):
+        h = TracedHashTable(HeapAllocator(), n_buckets=1)  # everything chains
+        for k in range(8):
+            h.insert(k)
+        ops, found = h.lookup(0)  # oldest node: full chain walk
+        assert found
+        assert len(ops) > 8
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 5000), max_size=120))
+    def test_invariants_after_random_inserts(self, keys):
+        h = TracedHashTable(HeapAllocator(), n_buckets=16)
+        for k in keys:
+            h.insert(k)
+        h.check_invariants()
+        assert h.keys() == set(keys)
+
+
+class TestFifoQueue:
+    def test_fifo_accounting(self):
+        q = TracedFifoQueue(HeapAllocator(), capacity=4)
+        q.enqueue()
+        q.enqueue()
+        assert len(q) == 2
+        q.dequeue()
+        assert len(q) == 1
+        q.check_invariants()
+
+    def test_overflow_underflow_rejected(self):
+        q = TracedFifoQueue(HeapAllocator(), capacity=1)
+        with pytest.raises(WorkloadError):
+            q.dequeue()
+        q.enqueue()
+        with pytest.raises(WorkloadError):
+            q.enqueue()
+
+    def test_descriptor_rmw_shape(self):
+        q = TracedFifoQueue(HeapAllocator(), capacity=4)
+        ops = q.enqueue()
+        assert ops[0].kind is OpKind.READ
+        assert ops[0].addr == ops[-1].addr  # tail RMW
+        assert ops[-1].kind is OpKind.WRITE
+
+    def test_slots_wrap_around(self):
+        q = TracedFifoQueue(HeapAllocator(), capacity=2)
+        first = q.enqueue()[1].addr
+        q.enqueue()
+        q.dequeue()
+        q.dequeue()
+        wrapped = q.enqueue()[1].addr
+        assert wrapped == first

@@ -1,0 +1,82 @@
+"""Structure-accurate vacation variant tests."""
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.sim.engine import SimulationEngine
+from repro.workloads.vacation_tree import VacationTreeWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return VacationTreeWorkload(txns_per_core=30, n_records=256)
+
+
+@pytest.fixture(scope="module")
+def scripts(workload):
+    return workload.build(8, seed=7)
+
+
+class TestGeneration:
+    def test_deterministic(self, workload, scripts):
+        again = VacationTreeWorkload(txns_per_core=30, n_records=256).build(8, 7)
+        assert scripts == again
+
+    def test_all_txns_have_tree_traffic(self, scripts):
+        for cs in scripts:
+            for txn in cs.txns:
+                assert any(op.is_mem for op in txn.ops)
+
+    def test_addresses_are_node_aligned(self, scripts):
+        """Every access targets an 8-byte field of a 32-byte node."""
+        for cs in scripts:
+            for txn in cs.txns:
+                for op in txn.ops:
+                    if op.is_mem:
+                        assert op.size == 8
+                        assert op.addr % 8 == 0
+
+    def test_root_lines_are_hot(self, workload, scripts):
+        """Tree traversals concentrate on the upper levels: the most
+        frequently read line must be far hotter than the median."""
+        from collections import Counter
+
+        reads = Counter()
+        for cs in scripts:
+            for txn in cs.txns:
+                for op in txn.ops:
+                    if op.is_mem and not op.is_write:
+                        reads[op.addr // 64] += 1
+        counts = sorted(reads.values())
+        assert counts[-1] > 5 * counts[len(counts) // 2]
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "scheme",
+        [DetectionScheme.ASF_BASELINE, DetectionScheme.SUBBLOCK,
+         DetectionScheme.PERFECT],
+        ids=lambda s: s.value,
+    )
+    def test_serializable(self, scripts, scheme):
+        cfg = default_system(scheme, 4)
+        engine = SimulationEngine(cfg, scripts, seed=7, check_atomicity=True)
+        stats = engine.run()
+        assert engine.checker.clean
+        assert stats.txn_commits == 240
+
+    def test_war_dominant_like_vacation(self, scripts):
+        """The real tree reproduces the statistical model's signature:
+        read-heavy traversals make WAR the dominant false type."""
+        cfg = default_system(DetectionScheme.ASF_BASELINE)
+        stats = SimulationEngine(cfg, scripts, seed=7, check_atomicity=False).run()
+        shares = stats.conflicts.false_breakdown()
+        if stats.conflicts.total_false >= 20:
+            assert shares["WAR"] > shares["RAW"]
+
+    def test_subblocking_helps(self, scripts):
+        base_cfg = default_system(DetectionScheme.ASF_BASELINE)
+        sub_cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+        base = SimulationEngine(base_cfg, scripts, seed=7, check_atomicity=False).run()
+        sub = SimulationEngine(sub_cfg, scripts, seed=7, check_atomicity=False).run()
+        assert sub.conflicts.total_false < base.conflicts.total_false
