@@ -1,0 +1,104 @@
+"""Hot-path throughput benchmarks for the PR's optimizations.
+
+Each benchmark isolates one of the speedups so regressions are visible
+in isolation:
+
+* sharer-filtered probes vs the legacy broadcast scan (same machine,
+  ``use_sharer_index`` toggled — counters are asserted identical, the
+  benchmark times the optimized path),
+* detail-off stats recording vs the full detail layer,
+* compile-once script caching vs per-point recompilation,
+* parallel ``run_many`` dispatch overhead at ``jobs=1`` (the serial
+  reference path must stay cheap).
+
+The assertions are parity/shape checks only — relative wall-clock claims
+live in ``examples/bench_perf.py`` where both sides are measured in one
+process and written to ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+from repro.config import DetectionScheme, default_system
+from repro.sim.engine import SimulationEngine
+from repro.sim.parallel import RunSpec, compiled_scripts, run_many
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.vacation import VacationWorkload
+
+
+def _contended_scripts(txns: int = 30, seed: int = 5):
+    w = VacationWorkload(txns_per_core=txns)
+    cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+    return w, cfg, w.build(cfg.n_cores, seed)
+
+
+def _run(cfg, scripts, *, sharer_index: bool, record_detail: bool = True):
+    engine = SimulationEngine(
+        cfg, scripts, seed=5, check_atomicity=False, record_detail=record_detail
+    )
+    engine.machine.use_sharer_index = sharer_index
+    return engine.run()
+
+
+def test_sharer_index_throughput(benchmark):
+    """Contended run with sharer-filtered probes (the optimized default)."""
+    _, cfg, scripts = _contended_scripts()
+    stats = benchmark(lambda: _run(cfg, scripts, sharer_index=True))
+    assert stats.txn_commits == cfg.n_cores * 30
+
+
+def test_broadcast_probe_throughput(benchmark):
+    """Same run on the legacy all-cores probe scan, for comparison."""
+    _, cfg, scripts = _contended_scripts()
+    stats = benchmark(lambda: _run(cfg, scripts, sharer_index=False))
+    assert stats.txn_commits == cfg.n_cores * 30
+
+
+def test_sharer_index_counters_identical():
+    """The filter changes who gets probed, never what the run computes."""
+    _, cfg, scripts = _contended_scripts()
+    fast = _run(cfg, scripts, sharer_index=True)
+    slow = _run(cfg, scripts, sharer_index=False)
+    assert fast.summary() == slow.summary()
+
+
+def test_detail_off_throughput(benchmark):
+    """Counter-only stats recording on an uncontended run."""
+    w = SyntheticWorkload(txns_per_core=25, n_records=4096, hot_fraction=0.0)
+    cfg = default_system()
+    scripts = w.build(cfg.n_cores, 7)
+
+    def run():
+        return SimulationEngine(
+            cfg, scripts, seed=7, check_atomicity=False, record_detail=False
+        ).run()
+
+    stats = benchmark(run)
+    assert stats.txn_commits == cfg.n_cores * 25
+    # Aggregates survive the fast path; only the per-event detail is gone.
+    assert stats.l1_hits + stats.l1_misses > 0
+    assert not stats.txn_start_times
+
+
+def test_compiled_scripts_cache(benchmark):
+    """Sweep-style repeated compiles hit the per-process cache."""
+    compiled_scripts("vacation", 8, 11, txns_per_core=40)  # warm
+
+    def lookup():
+        return compiled_scripts("vacation", 8, 11, txns_per_core=40)
+
+    scripts = benchmark(lookup)
+    assert scripts is compiled_scripts("vacation", 8, 11, txns_per_core=40)
+
+
+def test_run_many_serial_dispatch(benchmark):
+    """RunSpec + run_many at jobs=1 (the path every sweep point takes)."""
+    cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+    specs = [
+        RunSpec(workload="kmeans", config=cfg, seed=s, txns_per_core=15)
+        for s in (1, 2)
+    ]
+    results = benchmark.pedantic(
+        lambda: run_many(specs, jobs=1), rounds=3, iterations=1
+    )
+    assert [r.seed for r in results] == [1, 2]
+    assert all(r.stats.txn_commits == cfg.n_cores * 15 for r in results)

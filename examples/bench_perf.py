@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Measure the simulator's own performance and write ``BENCH_perf.json``.
+
+Three measurements, each with its built-in honesty check:
+
+1. **Hot path** — one contended 8-core run timed twice, sharer-filtered
+   probes vs the legacy broadcast scan, with ``record_detail`` off.  The
+   two runs' stats summaries are asserted identical before the speedup
+   is reported (the filter must change *who gets probed*, nothing else).
+2. **Parallel orchestration** — ``compare_systems`` over several
+   benchmarks at ``jobs=1`` vs ``jobs=4``.  The observed speedup depends
+   on the host: on a single-CPU container process-pool fan-out cannot
+   beat serial, so ``cpu_count`` is recorded next to the numbers.
+3. **Figure pipeline** — a small ``run_suite`` plus
+   ``compute_all_figures``, timed separately, so simulation cost and
+   analysis cost are visible on their own.
+
+Run:  python examples/bench_perf.py [--quick] [--out BENCH_perf.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.analysis.experiments import run_suite
+from repro.analysis.figures import compute_all_figures
+from repro.config import DetectionScheme, default_system
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import compare_systems
+from repro.workloads.registry import get_workload
+from repro.workloads.vacation import VacationWorkload
+
+PARALLEL_BENCHMARKS = ("vacation", "genome", "kmeans", "intruder")
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def bench_hot_path(txns: int, seed: int = 5) -> dict:
+    """Sharer-filtered vs broadcast probes on one contended run."""
+    w = VacationWorkload(txns_per_core=txns)
+    cfg = default_system(DetectionScheme.SUBBLOCK, 4)
+    scripts = w.build(cfg.n_cores, seed)
+
+    def run(sharer_index: bool):
+        engine = SimulationEngine(
+            cfg, scripts, seed=seed, check_atomicity=False, record_detail=False
+        )
+        engine.machine.use_sharer_index = sharer_index
+        return engine.run()
+
+    run(True)  # warm caches (bitops memo, allocator) off the clock
+    fast, fast_s = _timed(lambda: run(True))
+    slow, slow_s = _timed(lambda: run(False))
+    if fast.summary() != slow.summary():
+        raise AssertionError("sharer-index run diverged from broadcast run")
+    accesses = fast.l1_hits + fast.l1_misses
+    return {
+        "workload": f"vacation x{txns} txns/core, 8 cores, subblock N=4",
+        "simulated_accesses": accesses,
+        "optimized_seconds": round(fast_s, 4),
+        "legacy_broadcast_seconds": round(slow_s, 4),
+        "optimized_accesses_per_sec": round(accesses / fast_s),
+        "legacy_accesses_per_sec": round(accesses / slow_s),
+        "speedup": round(slow_s / fast_s, 3),
+        "counters_identical": True,
+    }
+
+
+def bench_parallel(txns: int, jobs: int = 4, seed: int = 1) -> dict:
+    """Serial vs process-pool execution of identical run batches."""
+    workloads = [get_workload(name, txns) for name in PARALLEL_BENCHMARKS]
+
+    def batch(n_jobs: int):
+        return [
+            compare_systems(w, seed=seed, check_atomicity=False,
+                            record_detail=False, jobs=n_jobs)
+            for w in workloads
+        ]
+
+    serial, serial_s = _timed(lambda: batch(1))
+    parallel, parallel_s = _timed(lambda: batch(jobs))
+    identical = all(
+        {k: r.stats.summary() for k, r in s.items()}
+        == {k: r.stats.summary() for k, r in p.items()}
+        for s, p in zip(serial, parallel)
+    )
+    if not identical:
+        raise AssertionError("parallel batch diverged from serial batch")
+    return {
+        "benchmarks": list(PARALLEL_BENCHMARKS),
+        "runs": len(workloads) * 3,
+        "jobs": jobs,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "results_identical": True,
+    }
+
+
+def bench_figures(txns: int, seed: int = 1) -> dict:
+    """Simulation vs analysis cost of the figure pipeline."""
+    suite, sim_s = _timed(
+        lambda: run_suite(txns_per_core=txns, seed=seed,
+                          benchmarks=PARALLEL_BENCHMARKS)
+    )
+    figures, fig_s = _timed(lambda: compute_all_figures(suite))
+    return {
+        "benchmarks": list(PARALLEL_BENCHMARKS),
+        "txns_per_core": txns,
+        "simulate_seconds": round(sim_s, 4),
+        "compute_figures_seconds": round(fig_s, 4),
+        "figures": sorted(figures),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small workloads (CI smoke); numbers are noisier")
+    ap.add_argument("--out", default="BENCH_perf.json")
+    args = ap.parse_args(argv)
+
+    hot_txns = 40 if args.quick else 150
+    par_txns = 25 if args.quick else 100
+    fig_txns = 25 if args.quick else 100
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+        },
+        "hot_path": bench_hot_path(hot_txns),
+        "parallel": bench_parallel(par_txns),
+        "figure_pipeline": bench_figures(fig_txns),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    hp, par = report["hot_path"], report["parallel"]
+    print(f"wrote {args.out}")
+    print(f"  hot path : {hp['optimized_accesses_per_sec']:>9,} acc/s "
+          f"(legacy {hp['legacy_accesses_per_sec']:,}; "
+          f"{hp['speedup']}x, counters identical)")
+    print(f"  parallel : {par['runs']} runs, jobs={par['jobs']}: "
+          f"{par['parallel_seconds']}s vs serial {par['serial_seconds']}s "
+          f"({par['speedup']}x on {report['meta']['cpu_count']} CPUs)")
+    print(f"  figures  : simulate {report['figure_pipeline']['simulate_seconds']}s, "
+          f"analyse {report['figure_pipeline']['compute_figures_seconds']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,12 @@ perfect) with conflict-event recording on the baseline run, and returns a
 :class:`SuiteResults` that every figure computation draws from.  The
 benchmark harness shares one suite per session via a fixture so the ten
 figure benches do not re-simulate.
+
+The suite is benchmarks × schemes independent simulations, so it fans out
+through :func:`repro.sim.parallel.run_many` — ``jobs>1`` runs them
+concurrently with bit-identical results, and the registry-name specs let
+each pool worker compile a benchmark once and reuse it for all three
+schemes.
 """
 
 from __future__ import annotations
@@ -13,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import DetectionScheme, SystemConfig, default_system
-from repro.sim.runner import RunResult, run_scripts
-from repro.workloads.base import Workload
-from repro.workloads.registry import BENCHMARK_NAMES, get_workload
+from repro.sim.parallel import RunSpec, run_many
+from repro.sim.runner import RunResult
+from repro.workloads.registry import BENCHMARK_NAMES
 
 __all__ = ["BenchResult", "SuiteResults", "run_suite"]
 
@@ -93,6 +99,14 @@ class SuiteResults:
         return sum(vals) / len(vals) if vals else 0.0
 
 
+#: Scheme order inside each benchmark's spec triple.
+_SUITE_SCHEMES = (
+    DetectionScheme.ASF_BASELINE,
+    DetectionScheme.SUBBLOCK,
+    DetectionScheme.PERFECT,
+)
+
+
 def run_suite(
     txns_per_core: int = 400,
     seed: int = 1,
@@ -101,35 +115,40 @@ def run_suite(
     config: SystemConfig | None = None,
     check_atomicity: bool = False,
     record_events: bool = True,
+    jobs: int = 1,
 ) -> SuiteResults:
     """Run every benchmark under baseline/sub-block/perfect.
 
     ``check_atomicity`` defaults to off here (the correctness suite covers
     it; the figure harness favours wall-clock).  ``record_events`` keeps
     the baseline's conflict records for the open-loop Figure 5/8 analysis.
+    ``jobs>1`` distributes the benchmarks × schemes batch over a process
+    pool; every run is independently seeded so the results are identical
+    to a serial suite.
     """
     base_cfg = config if config is not None else default_system()
     suite = SuiteResults(txns_per_core=txns_per_core, seed=seed)
-    for name in benchmarks:
-        workload: Workload = get_workload(name, txns_per_core)
-        scripts = workload.build(base_cfg.n_cores, seed)
-        runs: dict[DetectionScheme, RunResult] = {}
-        for scheme in (
-            DetectionScheme.ASF_BASELINE,
-            DetectionScheme.SUBBLOCK,
-            DetectionScheme.PERFECT,
-        ):
-            cfg = base_cfg.with_scheme(scheme, n_subblocks)
-            runs[scheme] = run_scripts(
-                scripts,
-                cfg,
-                seed,
-                workload_name=name,
-                check_atomicity=check_atomicity,
-                record_events=(
-                    record_events and scheme is DetectionScheme.ASF_BASELINE
-                ),
-            )
+    specs = [
+        RunSpec(
+            workload=name,
+            config=base_cfg.with_scheme(scheme, n_subblocks),
+            seed=seed,
+            txns_per_core=txns_per_core,
+            label=f"{name}:{scheme.value}",
+            check_atomicity=check_atomicity,
+            record_events=(
+                record_events and scheme is DetectionScheme.ASF_BASELINE
+            ),
+        )
+        for name in benchmarks
+        for scheme in _SUITE_SCHEMES
+    ]
+    results = run_many(specs, jobs=jobs)
+    for i, name in enumerate(benchmarks):
+        runs: dict[DetectionScheme, RunResult] = {
+            scheme: results[i * len(_SUITE_SCHEMES) + j]
+            for j, scheme in enumerate(_SUITE_SCHEMES)
+        }
         suite.benches[name] = BenchResult(
             name=name,
             baseline=runs[DetectionScheme.ASF_BASELINE],

@@ -15,6 +15,7 @@ from repro.sim.stats import StatsCollector
 
 __all__ = [
     "abort_breakdown",
+    "compute_all_figures",
     "fig1_false_rates",
     "fig2_breakdown",
     "fig3_time_series",
@@ -196,3 +197,28 @@ def fig10_exec_improvement(suite: SuiteResults) -> list[tuple[str, float, float]
         )
     )
     return rows
+
+
+def compute_all_figures(suite: SuiteResults) -> dict[str, object]:
+    """Every figure computation over one suite, keyed by artifact name.
+
+    This is the full post-simulation analysis pipeline in one call — the
+    perf harness times it separately from the simulations that feed it,
+    and reports use it to avoid re-deriving the figure list.  Figure 8 is
+    only included when the suite recorded baseline conflict events.
+    """
+    out: dict[str, object] = {
+        "fig1_false_rates": fig1_false_rates(suite),
+        "fig2_breakdown": fig2_breakdown(suite),
+        "fig3_time_series": fig3_time_series(suite),
+        "fig4_line_histogram": fig4_line_histogram(suite),
+        "fig5_offset_histogram": fig5_offset_histogram(suite),
+        "fig9_overall_reduction": fig9_overall_reduction(suite),
+        "fig10_exec_improvement": fig10_exec_improvement(suite),
+        "abort_breakdown": abort_breakdown(suite),
+    }
+    if any(
+        suite[name].baseline.stats.conflict_events for name in suite.names()
+    ):
+        out["fig8_sensitivity"] = fig8_sensitivity(suite)
+    return out

@@ -15,6 +15,12 @@ with everything else held fixed:
   violations instead of pretending to work);
 * :func:`sweep_backoff` — sensitivity of every scheme's results to the
   retry contention manager.
+
+Every sweep is a batch of independent simulations, so each accepts
+``jobs`` and executes through :func:`repro.sim.parallel.run_many`: points
+run concurrently when asked, results always come back in axis order, and
+the compiled workload is reused across every point that shares
+``(n_cores, seed)`` instead of being rebuilt per point.
 """
 
 from __future__ import annotations
@@ -22,8 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import ConflictResolution, DetectionScheme, SystemConfig, default_system
-from repro.sim.engine import SimulationEngine
-from repro.sim.runner import RunResult, run_scripts
+from repro.sim.parallel import RunSpec, run_many
+from repro.sim.runner import RunResult
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -50,12 +56,31 @@ class AblationPoint:
         return self.result.stats
 
 
-def _run(workload, cfg, seed, label, check=False) -> AblationPoint:
-    scripts = workload.build(cfg.n_cores, seed)
-    result = run_scripts(
-        scripts, cfg, seed, workload_name=workload.name, check_atomicity=check
-    )
-    return AblationPoint(label=label, result=result)
+def _run_points(
+    workload: Workload,
+    points: list[tuple[str, SystemConfig]],
+    seed: int,
+    jobs: int = 1,
+    check: bool = False,
+    tolerate_violations: bool = False,
+) -> list[AblationPoint]:
+    """Run one spec per (label, config) point, preserving axis order."""
+    specs = [
+        RunSpec(
+            workload=workload,
+            config=cfg,
+            seed=seed,
+            label=label,
+            check_atomicity=check,
+            tolerate_violations=tolerate_violations,
+        )
+        for label, cfg in points
+    ]
+    results = run_many(specs, jobs=jobs)
+    return [
+        AblationPoint(label=spec.label, result=res, violations=res.violations)
+        for spec, res in zip(specs, results)
+    ]
 
 
 def sweep_subblocks(
@@ -63,18 +88,14 @@ def sweep_subblocks(
     counts: tuple[int, ...] = (1, 2, 4, 8, 16),
     seed: int = 1,
     config: SystemConfig | None = None,
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """Closed-loop sub-block sweep (N=1 is the baseline by construction)."""
     base = config if config is not None else default_system()
-    return [
-        _run(
-            workload,
-            base.with_scheme(DetectionScheme.SUBBLOCK, n),
-            seed,
-            label=f"N={n}",
-        )
-        for n in counts
+    points = [
+        (f"N={n}", base.with_scheme(DetectionScheme.SUBBLOCK, n)) for n in counts
     ]
+    return _run_points(workload, points, seed, jobs=jobs)
 
 
 def sweep_cores(
@@ -82,17 +103,21 @@ def sweep_cores(
     core_counts: tuple[int, ...] = (2, 4, 8, 16),
     seed: int = 1,
     scheme: DetectionScheme = DetectionScheme.ASF_BASELINE,
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """How false-conflict pressure scales with the number of sharers."""
-    out = []
-    for n_cores in core_counts:
-        cfg = replace(default_system(scheme, 4), n_cores=n_cores)
-        out.append(_run(workload, cfg, seed, label=f"{n_cores} cores"))
-    return out
+    points = [
+        (
+            f"{n_cores} cores",
+            replace(default_system(scheme, 4), n_cores=n_cores),
+        )
+        for n_cores in core_counts
+    ]
+    return _run_points(workload, points, seed, jobs=jobs)
 
 
 def ablation_forced_waw(
-    workload: Workload, seed: int = 1, n_subblocks: int = 4
+    workload: Workload, seed: int = 1, n_subblocks: int = 4, jobs: int = 1
 ) -> tuple[AblationPoint, AblationPoint]:
     """Sub-blocking with and without the forced-WAW abort rule.
 
@@ -101,38 +126,44 @@ def ablation_forced_waw(
     costs on a given workload.
     """
     base = default_system(DetectionScheme.SUBBLOCK, n_subblocks)
-    with_rule = _run(workload, base, seed, label="forced-WAW on")
-    relaxed_cfg = replace(
-        base, htm=replace(base.htm, forced_waw_abort=False)
+    relaxed_cfg = replace(base, htm=replace(base.htm, forced_waw_abort=False))
+    with_rule, without_rule = _run_points(
+        workload,
+        [("forced-WAW on", base), ("forced-WAW off", relaxed_cfg)],
+        seed,
+        jobs=jobs,
     )
-    without_rule = _run(workload, relaxed_cfg, seed, label="forced-WAW off")
     return with_rule, without_rule
 
 
 def ablation_dirty_state(
-    workload: Workload, seed: int = 1, n_subblocks: int = 4
+    workload: Workload, seed: int = 1, n_subblocks: int = 4, jobs: int = 1
 ) -> tuple[AblationPoint, AblationPoint]:
     """Dirty handling on vs off; the off variant also reports how many
     atomicity violations the checker found (it is *incorrect* hardware,
     not merely slower)."""
     base = default_system(DetectionScheme.SUBBLOCK, n_subblocks)
-    on = _run(workload, base, seed, label="dirty on", check=True)
-
     off_cfg = replace(base, htm=replace(base.htm, dirty_state_enabled=False))
-    scripts = workload.build(off_cfg.n_cores, seed)
-    engine = SimulationEngine(off_cfg, scripts, seed=seed, check_atomicity=True)
-    engine.checker.raise_on_violation = False
-    stats = engine.run()
-    off = AblationPoint(
-        label="dirty off (BROKEN)",
-        result=RunResult(
-            workload=workload.name,
-            scheme=engine.machine.detector.name,
+    specs = [
+        RunSpec(
+            workload=workload,
+            config=base,
+            seed=seed,
+            label="dirty on",
+            check_atomicity=True,
+        ),
+        RunSpec(
+            workload=workload,
             config=off_cfg,
             seed=seed,
-            stats=stats,
+            label="dirty off (BROKEN)",
+            tolerate_violations=True,
         ),
-        violations=len(engine.checker.violations),
+    ]
+    on_res, off_res = run_many(specs, jobs=jobs)
+    on = AblationPoint(label=specs[0].label, result=on_res)
+    off = AblationPoint(
+        label=specs[1].label, result=off_res, violations=off_res.violations
     )
     return on, off
 
@@ -141,18 +172,19 @@ def sweep_resolution(
     workload: Workload,
     seed: int = 1,
     scheme: DetectionScheme = DetectionScheme.SUBBLOCK,
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """Requester-wins (ASF) vs older-wins conflict resolution.
 
     The paper's machine aborts the probed ("earlier") transaction; this
     sweep quantifies the choice against the classic age-based policy.
     """
-    out = []
+    points = []
     for policy in ConflictResolution:
         cfg = default_system(scheme, 4)
         cfg = replace(cfg, htm=replace(cfg.htm, resolution=policy))
-        out.append(_run(workload, cfg, seed, label=policy.value, check=True))
-    return out
+        points.append((policy.value, cfg))
+    return _run_points(workload, points, seed, jobs=jobs, check=True)
 
 
 def sweep_backoff(
@@ -160,9 +192,10 @@ def sweep_backoff(
     bases: tuple[int, ...] = (16, 64, 256, 1024),
     seed: int = 1,
     scheme: DetectionScheme = DetectionScheme.SUBBLOCK,
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """Backoff-base sensitivity (the paper's software-library knob)."""
-    out = []
+    points = []
     for base_cycles in bases:
         cfg = default_system(scheme, 4)
         cfg = replace(
@@ -173,5 +206,5 @@ def sweep_backoff(
                 backoff_cap_cycles=max(base_cycles * 128, cfg.htm.backoff_cap_cycles),
             ),
         )
-        out.append(_run(workload, cfg, seed, label=f"base={base_cycles}"))
-    return out
+        points.append((f"base={base_cycles}", cfg))
+    return _run_points(workload, points, seed, jobs=jobs)

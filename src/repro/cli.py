@@ -89,7 +89,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     results = compare_systems(
         workload, seed=args.seed, n_subblocks=args.subblocks,
-        check_atomicity=args.check, schemes=schemes,
+        check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
     )
     base = results["asf"]
     print(
@@ -103,7 +103,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    suite = run_suite(txns_per_core=args.txns, seed=args.seed)
+    suite = run_suite(txns_per_core=args.txns, seed=args.seed, jobs=args.jobs)
     print(render_all(suite))
     return 0
 
@@ -118,7 +118,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
     counts = tuple(int(c) for c in args.counts.split(","))
-    points = sweep_subblocks(workload, counts=counts, seed=args.seed)
+    points = sweep_subblocks(workload, counts=counts, seed=args.seed, jobs=args.jobs)
     baseline = points[0]
     rows = [
         (
@@ -143,8 +143,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_ablate(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
-    on, off = ablation_dirty_state(workload, seed=args.seed)
-    with_rule, without = ablation_forced_waw(workload, seed=args.seed)
+    on, off = ablation_dirty_state(workload, seed=args.seed, jobs=args.jobs)
+    with_rule, without = ablation_forced_waw(workload, seed=args.seed, jobs=args.jobs)
     print(
         format_table(
             ("variant", "commits", "conflicts", "cycles", "violations"),
@@ -217,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("benchmark", choices=BENCHMARK_NAMES)
         p.add_argument("--txns", type=int, default=200)
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--jobs", "-j", type=int, default=1,
+            help="worker processes for independent runs "
+            "(1 = serial, 0 = all cores); results are identical either way",
+        )
 
     p_run = sub.add_parser("run", help="run one benchmark on all systems")
     common(p_run)

@@ -89,6 +89,7 @@ class HtmMachine:
         stats: StatsCollector | None = None,
         checker=None,
         detector: ConflictDetector | None = None,
+        use_sharer_index: bool = True,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatsCollector()
@@ -103,6 +104,15 @@ class HtmMachine:
         self.spec_tables: list[dict[int, SpecLineState]] = [
             dict() for _ in range(config.n_cores)
         ]
+        # Per-line index of cores holding *any* speculative side state for
+        # the line (mirror of spec_tables keys, as a bitmask).  Probes and
+        # piggy-back collection visit only these cores instead of scanning
+        # all n_cores side tables.  ``use_sharer_index=False`` falls back
+        # to the original broadcast scan — observable behaviour is
+        # identical (the parity tests assert it); only the visit set
+        # shrinks.
+        self.spec_holders: dict[int, int] = {}
+        self.use_sharer_index = use_sharer_index
         self.active: list[Transaction | None] = [None] * config.n_cores
         self._txn_uid = NON_TXN_UID  # allocate() pre-increments
 
@@ -209,7 +219,50 @@ class HtmMachine:
         if st is None:
             st = SpecLineState(line_addr)
             table[line_addr] = st
+            holders = self.spec_holders
+            holders[line_addr] = holders.get(line_addr, 0) | (1 << core)
         return st
+
+    def _spec_discard(self, core: int, line_addr: int) -> None:
+        """Drop a core's side-table entry and unindex it."""
+        if self.spec_tables[core].pop(line_addr, None) is None:
+            return
+        holders = self.spec_holders
+        mask = holders.get(line_addr, 0) & ~(1 << core)
+        if mask:
+            holders[line_addr] = mask
+        else:
+            holders.pop(line_addr, None)
+
+    def _rr_order(self, requester: int, mask: int) -> list[int]:
+        """Cores named in ``mask`` in snoop delivery order: ascending ids
+        starting after the requester, wrapping (the requester itself is
+        never included).  Matches :meth:`SnoopBus.snoop_order` restricted
+        to the candidate set, so filtered probes abort victims in exactly
+        the broadcast order."""
+        out: list[int] = []
+        hi = mask >> (requester + 1)
+        base = requester + 1
+        while hi:
+            low = hi & -hi
+            out.append(base + low.bit_length() - 1)
+            hi ^= low
+        lo = mask & ((1 << requester) - 1)
+        while lo:
+            low = lo & -lo
+            out.append(low.bit_length() - 1)
+            lo ^= low
+        return out
+
+    def _iter_mask(self, mask: int, exclude: int) -> list[int]:
+        """Cores named in ``mask`` in ascending order, minus ``exclude``."""
+        mask &= ~(1 << exclude)
+        out: list[int] = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
 
     def _access_line(
         self,
@@ -302,7 +355,7 @@ class HtmMachine:
                     return out
                 data, fill_lat, piggy = self._fetch_line(core, line_addr)
                 self._demote_remotes(core, line_addr)
-                had_sharers = bool(self.mem.valid_holders(line_addr, exclude=core))
+                had_sharers = self.mem.holders_mask(line_addr, core) != 0
                 new_state = MoesiState.SHARED if had_sharers else MoesiState.EXCLUSIVE
                 if not self._fill_l1(core, line_addr, new_state, data, txn):
                     return self._capacity_abort(core, time, out)
@@ -382,7 +435,11 @@ class HtmMachine:
         )
         self.bus.count_probe(probe)
         records: list[ConflictRecord] = []
-        for r in self.bus.snoop_order(core):
+        if self.use_sharer_index:
+            targets = self._rr_order(core, self.spec_holders.get(line_addr, 0))
+        else:
+            targets = self.bus.snoop_order(core)
+        for r in targets:
             rst = self.spec_tables[r].get(line_addr)
             if rst is None:
                 continue
@@ -424,10 +481,20 @@ class HtmMachine:
             self._abort(r, time, cause)
         return records
 
+    def _holder_targets(self, core: int, line_addr: int) -> list[int]:
+        """Cores that may hold a valid copy of the line (ascending order)."""
+        if self.use_sharer_index:
+            return self._iter_mask(self.mem.holders_mask(line_addr), core)
+        return [r for r in range(self.config.n_cores) if r != core]
+
+    def _spec_targets(self, core: int, line_addr: int) -> list[int]:
+        """Cores that may hold side state for the line (ascending order)."""
+        if self.use_sharer_index:
+            return self._iter_mask(self.spec_holders.get(line_addr, 0), core)
+        return [r for r in range(self.config.n_cores) if r != core]
+
     def _invalidate_remotes(self, core: int, line_addr: int) -> None:
-        for r in range(self.config.n_cores):
-            if r == core:
-                continue
+        for r in self._holder_targets(core, line_addr):
             l1 = self.mem.l1s[r]
             line = l1.lookup(line_addr, touch=False)
             if line is None or not line.valid:
@@ -437,12 +504,10 @@ class HtmMachine:
             l1.invalidate(line_addr, retain=retain)
             if not retain and rst is not None and not rst.any_spec:
                 # Dirty-only info dies with the discarded copy.
-                del self.spec_tables[r][line_addr]
+                self._spec_discard(r, line_addr)
 
     def _demote_remotes(self, core: int, line_addr: int) -> None:
-        for r in range(self.config.n_cores):
-            if r == core:
-                continue
+        for r in self._holder_targets(core, line_addr):
             line = self.mem.l1s[r].lookup(line_addr, touch=False)
             if line is not None and line.valid:
                 line.state = on_non_invalidating_probe(line.state)
@@ -451,9 +516,7 @@ class HtmMachine:
         """Union of other cores' *active* speculative sub-block bitmaps for
         the line (valid or invalidated-but-retained copies alike)."""
         bits = 0
-        for r in range(self.config.n_cores):
-            if r == core:
-                continue
+        for r in self._spec_targets(core, line_addr):
             rst = self.spec_tables[r].get(line_addr)
             if rst is None:
                 continue
@@ -473,7 +536,11 @@ class HtmMachine:
         always committed-clean in this model, so falling through is safe.
         """
         supplier: int | None = None
-        for r in self.bus.snoop_order(core):
+        if self.use_sharer_index:
+            supply_order = self._rr_order(core, self.mem.holders_mask(line_addr, core))
+        else:
+            supply_order = self.bus.snoop_order(core)
+        for r in supply_order:
             line = self.mem.l1s[r].lookup(line_addr, touch=False)
             if line is None or not line.valid or not supplies_data(line.state):
                 continue
@@ -487,9 +554,7 @@ class HtmMachine:
         # idealised perfect system) invalidated-but-retained speculative
         # lines.
         piggy = 0
-        for r in range(self.config.n_cores):
-            if r == core:
-                continue
+        for r in self._spec_targets(core, line_addr):
             rst = self.spec_tables[r].get(line_addr)
             victim = self.active[r]
             if rst is None or victim is None or rst.owner_txn != victim.uid:
@@ -546,13 +611,15 @@ class HtmMachine:
 
         cl = CacheLine(addr=line_addr, state=state, data=data)
         s[line_addr] = cl
+        if l1.observer is not None:
+            l1.observer(line_addr, True)
         return FillResult(line=cl)
 
     def _on_l1_eviction(self, core: int, evicted) -> None:
         """Clean up side state when an unpinned line leaves the L1."""
         st = self.spec_tables[core].get(evicted.addr)
         if st is not None and not st.any_spec:
-            del self.spec_tables[core][evicted.addr]
+            self._spec_discard(core, evicted.addr)
         # Dirty write-back is a no-op for data: committed tokens already
         # live in backing memory (commit publishes the redo log), and
         # speculative lines are pinned so they are never evicted.
@@ -630,7 +697,7 @@ class HtmMachine:
                 l1.drop(line_addr)
                 line = None
             if st is not None and (empty or line is None):
-                table.pop(line_addr, None)
+                self._spec_discard(core, line_addr)
         txn.mark_aborted(time, cause)
         self.active[core] = None
         self.stats.record_abort(cause.value, txn.wasted_cycles)
@@ -650,4 +717,4 @@ class HtmMachine:
                 l1.drop(line_addr)
                 line = None
             if st is not None and (empty or line is None):
-                table.pop(line_addr, None)
+                self._spec_discard(core, line_addr)

@@ -64,7 +64,7 @@ class SetAssocCache:
     otherwise invalidation removes them.
     """
 
-    __slots__ = ("n_sets", "associativity", "line_size", "_sets", "name")
+    __slots__ = ("n_sets", "associativity", "line_size", "_sets", "name", "observer")
 
     def __init__(
         self, n_sets: int, associativity: int, line_size: int, name: str = "cache"
@@ -78,6 +78,11 @@ class SetAssocCache:
         self.line_size = line_size
         self.name = name
         self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(n_sets)]
+        #: Optional ``callback(line_addr, valid)`` fired on every
+        #: valid<->invalid residency transition.  The memory system uses it
+        #: to maintain the per-line sharer index that lets probes skip
+        #: caches that cannot possibly respond.
+        self.observer = None
 
     @classmethod
     def from_config(cls, cfg, name: str = "cache") -> "SetAssocCache":
@@ -139,11 +144,14 @@ class SetAssocCache:
         existing = s.get(line_addr)
         if existing is not None:
             # Re-fill of a resident (possibly retained-invalid) line.
+            was_valid = existing.valid
             existing.state = state
             if data is not None:
                 existing.data = data
             del s[line_addr]
             s[line_addr] = existing
+            if not was_valid and self.observer is not None:
+                self.observer(line_addr, True)
             return FillResult(line=existing)
         evicted: CacheLine | None = None
         if len(s) >= self.associativity:
@@ -155,6 +163,10 @@ class SetAssocCache:
             evicted = s.pop(victim_addr)
         line = CacheLine(addr=line_addr, state=state, data=data)
         s[line_addr] = line
+        if self.observer is not None:
+            if evicted is not None and evicted.valid:
+                self.observer(evicted.addr, False)
+            self.observer(line_addr, True)
         return FillResult(line=line, evicted=evicted)
 
     def invalidate(self, line_addr: int, retain: bool = False) -> CacheLine | None:
@@ -169,14 +181,19 @@ class SetAssocCache:
         line = s.get(line_addr)
         if line is None:
             return None
+        was_valid = line.valid
         line.state = MoesiState.INVALID
         if not retain:
             del s[line_addr]
+        if was_valid and self.observer is not None:
+            self.observer(line_addr, False)
         return line
 
     def drop(self, line_addr: int) -> None:
         """Remove a line outright (used when clearing retained spec lines)."""
-        self._set_of(line_addr).pop(line_addr, None)
+        line = self._set_of(line_addr).pop(line_addr, None)
+        if line is not None and line.valid and self.observer is not None:
+            self.observer(line_addr, False)
 
     def pin(self, line_addr: int) -> None:
         line = self._set_of(line_addr).get(line_addr)

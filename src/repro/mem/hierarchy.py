@@ -46,6 +46,14 @@ class MemorySystem:
             SetAssocCache.from_config(config.l1, name=f"L1[{c}]")
             for c in range(config.n_cores)
         ]
+        # Per-line sharer index: line_addr -> bitmask of cores whose L1
+        # holds a *valid* copy.  Kept coherent by cache observers, so
+        # probe-side loops visit only potential responders instead of all
+        # n_cores caches.  Purely an acceleration structure: it never
+        # changes observable MOESI behaviour.
+        self.l1_holders: dict[int, int] = {}
+        for c, l1 in enumerate(self.l1s):
+            l1.observer = self._make_holder_observer(c)
         self.l2s = [
             SetAssocCache.from_config(config.l2, name=f"L2[{c}]")
             for c in range(config.n_cores)
@@ -77,16 +85,42 @@ class MemorySystem:
 
     # -- presence -----------------------------------------------------------
 
+    def _make_holder_observer(self, core: int):
+        """Observer closure keeping ``l1_holders`` coherent for one L1."""
+        bit = 1 << core
+        holders = self.l1_holders
+
+        def observe(line_addr: int, valid: bool) -> None:
+            if valid:
+                holders[line_addr] = holders.get(line_addr, 0) | bit
+            else:
+                mask = holders.get(line_addr, 0) & ~bit
+                if mask:
+                    holders[line_addr] = mask
+                else:
+                    holders.pop(line_addr, None)
+
+        return observe
+
     def l1_line(self, core: int, line_addr: int, touch: bool = False) -> CacheLine | None:
         return self.l1s[core].lookup(line_addr, touch=touch)
 
+    def holders_mask(self, line_addr: int, exclude: int | None = None) -> int:
+        """Bitmask of cores whose L1 holds a valid copy of the line."""
+        mask = self.l1_holders.get(line_addr, 0)
+        if exclude is not None:
+            mask &= ~(1 << exclude)
+        return mask
+
     def valid_holders(self, line_addr: int, exclude: int | None = None) -> list[int]:
         """Cores whose L1 currently holds a valid copy of the line."""
-        return [
-            c
-            for c in range(self.config.n_cores)
-            if c != exclude and self.l1s[c].contains_valid(line_addr)
-        ]
+        mask = self.holders_mask(line_addr, exclude)
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
 
     # -- latency ------------------------------------------------------------
 

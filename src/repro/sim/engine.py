@@ -71,6 +71,7 @@ class SimulationEngine:
         stats: StatsCollector | None = None,
         check_atomicity: bool = True,
         record_events: bool = False,
+        record_detail: bool = True,
     ) -> None:
         if len(scripts) != config.n_cores:
             raise SimulationError(
@@ -79,7 +80,11 @@ class SimulationEngine:
         self.config = config
         self.scripts = scripts
         self.seed = seed
-        self.stats = stats if stats is not None else StatsCollector(record_events)
+        self.stats = (
+            stats
+            if stats is not None
+            else StatsCollector(record_events, record_detail=record_detail)
+        )
         self.machine = HtmMachine(config, stats=self.stats)
         self.checker: AtomicityChecker | None = None
         if check_atomicity:

@@ -1,0 +1,200 @@
+"""Parallel experiment orchestration.
+
+Every figure, sweep and ablation in the evaluation is a batch of
+*independent* simulations — a pure function of ``(workload, config,
+seed)``.  This module turns such a batch into a pickle-safe list of
+:class:`RunSpec` and executes it with :func:`run_many`, either in-process
+(``jobs=1``, the deterministic reference path) or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Two properties are load-bearing:
+
+* **Deterministic result ordering** — ``run_many`` returns results in
+  spec order regardless of worker scheduling, and each simulation is
+  seeded, so the parallel path is bit-identical to the serial one (the
+  parity tests assert it).
+* **Compile-once script caching** — compiled :class:`CoreScript` lists
+  are memoized per ``(workload identity, n_cores, seed)`` in each
+  process, so a sweep of K points over one workload compiles it once,
+  not K times (and each pool worker compiles it at most once).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import SystemConfig
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import RunResult
+from repro.workloads.base import CoreScript, Workload
+
+__all__ = ["RunSpec", "compiled_scripts", "resolve_jobs", "run_many"]
+
+#: Bound on the per-process compiled-script cache (entries, not bytes).
+#: Sweeps touch a handful of (workload, n_cores, seed) keys; the bound
+#: only matters for very long-lived interactive sessions.
+_SCRIPT_CACHE_MAX = 64
+
+_script_cache: OrderedDict[tuple, list[CoreScript]] = OrderedDict()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, described portably enough to ship to a worker.
+
+    ``workload`` is either a Table III registry name (preferred — the
+    worker instantiates it locally) or a :class:`Workload` instance
+    (must be picklable).  ``txns_per_core`` only applies to registry
+    names.  ``label`` is carried through untouched for sweep axes.
+    """
+
+    workload: str | Workload
+    config: SystemConfig
+    seed: int = 1
+    txns_per_core: int | None = None
+    label: str = ""
+    check_atomicity: bool = False
+    record_events: bool = False
+    record_detail: bool = True
+    max_cycles: int | None = None
+    #: Run the atomicity checker in non-raising mode and report the
+    #: violation count on the result (the dirty-state ablation runs
+    #: deliberately broken hardware).
+    tolerate_violations: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def resolve_workload(self) -> Workload:
+        if isinstance(self.workload, str):
+            from repro.workloads.registry import DEFAULT_TXNS_PER_CORE, get_workload
+
+            return get_workload(
+                self.workload,
+                self.txns_per_core
+                if self.txns_per_core is not None
+                else DEFAULT_TXNS_PER_CORE,
+            )
+        return self.workload
+
+
+def _workload_cache_key(workload: str | Workload, txns_per_core: int | None):
+    """A hashable identity for the compiled-script cache, or None.
+
+    Registry names key on ``(name, txns_per_core)``; instances key on
+    their class plus attribute dict when every attribute is hashable
+    (workload generators are deterministic in their constructor state).
+    """
+    if isinstance(workload, str):
+        return ("registry", workload, txns_per_core)
+    try:
+        attrs = tuple(sorted(vars(workload).items()))
+        hash(attrs)
+    except TypeError:
+        return None
+    return ("instance", type(workload).__module__, type(workload).__qualname__, attrs)
+
+
+def compiled_scripts(
+    workload: str | Workload,
+    n_cores: int,
+    seed: int,
+    txns_per_core: int | None = None,
+) -> list[CoreScript]:
+    """Compile a workload, memoized per ``(workload, n_cores, seed)``.
+
+    Workload builds are deterministic in exactly those inputs, so cache
+    hits are guaranteed bit-identical to a fresh compile.
+    """
+    key_base = _workload_cache_key(workload, txns_per_core)
+    if key_base is None:
+        w = workload if isinstance(workload, Workload) else None
+        assert w is not None  # str keys are always hashable
+        return w.build(n_cores, seed)
+    key = key_base + (n_cores, seed)
+    cached = _script_cache.get(key)
+    if cached is not None:
+        _script_cache.move_to_end(key)
+        return cached
+    if isinstance(workload, str):
+        from repro.workloads.registry import DEFAULT_TXNS_PER_CORE, get_workload
+
+        w = get_workload(
+            workload,
+            txns_per_core if txns_per_core is not None else DEFAULT_TXNS_PER_CORE,
+        )
+    else:
+        w = workload
+    scripts = w.build(n_cores, seed)
+    _script_cache[key] = scripts
+    while len(_script_cache) > _SCRIPT_CACHE_MAX:
+        _script_cache.popitem(last=False)
+    return scripts
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec to completion (used serially and inside pool workers)."""
+    workload = None
+    if isinstance(spec.workload, str):
+        name = spec.workload
+    else:
+        workload = spec.workload
+        name = workload.name
+    scripts = compiled_scripts(
+        spec.workload, spec.config.n_cores, spec.seed, spec.txns_per_core
+    )
+    engine = SimulationEngine(
+        spec.config,
+        scripts,
+        seed=spec.seed,
+        check_atomicity=spec.check_atomicity or spec.tolerate_violations,
+        record_events=spec.record_events,
+        record_detail=spec.record_detail,
+    )
+    if spec.tolerate_violations:
+        assert engine.checker is not None
+        engine.checker.raise_on_violation = False
+    stats = engine.run(max_cycles=spec.max_cycles)
+    violations = len(engine.checker.violations) if engine.checker is not None else 0
+    return RunResult(
+        workload=name,
+        scheme=engine.machine.detector.name,
+        config=spec.config,
+        seed=spec.seed,
+        stats=stats,
+        violations=violations,
+    )
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0/negative mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+def run_many(specs: list[RunSpec], jobs: int = 1) -> list[RunResult]:
+    """Execute every spec; results come back in spec order.
+
+    ``jobs=1`` runs in-process (no pickling, shared script cache).
+    ``jobs>1`` fans out over a process pool; each worker executes whole
+    specs, so per-run determinism is untouched and the only difference
+    from the serial path is wall-clock.  ``jobs<=0`` uses all cores.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+    max_workers = min(jobs, len(specs))
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(execute_spec, specs))
+    except (OSError, PermissionError) as exc:
+        # Sandboxed or fork-restricted environments: degrade to serial
+        # rather than failing the experiment.
+        results = [execute_spec(spec) for spec in specs]
+        if not results and specs:  # pragma: no cover - defensive
+            raise SimulationError(f"parallel execution failed: {exc}") from exc
+        return results

@@ -27,6 +27,9 @@ class RunResult:
     config: SystemConfig
     seed: int
     stats: StatsCollector
+    #: Atomicity violations found by a non-raising checker (only ever
+    #: non-zero for deliberately broken ablation variants).
+    violations: int = 0
 
     @property
     def false_rate(self) -> float:
@@ -120,24 +123,30 @@ def compare_systems(
     ),
     check_atomicity: bool = True,
     record_events: bool = False,
+    record_detail: bool = True,
+    jobs: int = 1,
 ) -> dict[str, RunResult]:
     """Run identical compiled scripts under several detection schemes.
 
     Keys of the returned dict are scheme values (``"asf"``, ``"subblock"``,
-    ``"perfect"``); the workload is compiled once so every system executes
-    the same program.
+    ``"perfect"``); the workload is compiled once (per process) so every
+    system executes the same program.  ``jobs>1`` runs the schemes
+    concurrently — results are bit-identical to the serial path.
     """
+    from repro.sim.parallel import RunSpec, run_many
+
     base_cfg = config if config is not None else default_system()
-    scripts = workload.build(base_cfg.n_cores, seed)
-    results: dict[str, RunResult] = {}
-    for scheme in schemes:
-        cfg = base_cfg.with_scheme(scheme, n_subblocks)
-        results[scheme.value] = run_scripts(
-            scripts,
-            cfg,
-            seed,
-            workload_name=workload.name,
+    specs = [
+        RunSpec(
+            workload=workload,
+            config=base_cfg.with_scheme(scheme, n_subblocks),
+            seed=seed,
+            label=scheme.value,
             check_atomicity=check_atomicity,
             record_events=record_events,
+            record_detail=record_detail,
         )
-    return results
+        for scheme in schemes
+    ]
+    results = run_many(specs, jobs=jobs)
+    return {scheme.value: res for scheme, res in zip(schemes, results)}

@@ -79,10 +79,21 @@ class ConflictCounts:
 
 
 class StatsCollector:
-    """Accumulates statistics for one simulation run."""
+    """Accumulates statistics for one simulation run.
 
-    def __init__(self, record_events: bool = False) -> None:
+    ``record_detail`` gates the per-event raw material (conflict/start
+    timestamps, per-line and per-offset histograms — Figures 3-5).  It
+    defaults to on; perf-sensitive sweeps that only read the aggregate
+    counters turn it off, which swaps the recording hooks for cheap
+    counter-only variants so the per-access hot path pays nothing for
+    analysis it will never run.  The aggregate counters (conflicts,
+    aborts, commits, hit/miss, cycles) are identical either way.
+    """
+
+    def __init__(self, record_events: bool = False, record_detail: bool = True) -> None:
         self.record_events = record_events
+        # Full event recording is meaningless without the detail layer.
+        self.record_detail = record_detail or record_events
 
         self.conflicts = ConflictCounts()
         self.conflict_events: list[ConflictRecord] = []
@@ -121,6 +132,13 @@ class StatsCollector:
         self.execution_cycles: int = 0
         self.per_core_cycles: list[int] = []
 
+        if not self.record_detail:
+            # Swap in the counter-only hooks once, instead of branching on
+            # every one of the millions of per-access calls.
+            self.record_conflict = self._record_conflict_fast  # type: ignore[method-assign]
+            self.record_txn_start = self._record_txn_start_fast  # type: ignore[method-assign]
+            self.record_access = self._record_access_fast  # type: ignore[method-assign]
+
     # -- recording hooks (called by machine/engine) --------------------------
 
     def record_conflict(self, rec: ConflictRecord) -> None:
@@ -133,9 +151,19 @@ class StatsCollector:
         if self.record_events:
             self.conflict_events.append(rec)
 
+    def _record_conflict_fast(self, rec: ConflictRecord) -> None:
+        self.conflicts.add(rec.ctype, rec.is_false)
+        if rec.forced_waw:
+            self.forced_waw_aborts += 1
+
     def record_txn_start(self, time: int, attempt: int, static_id: int) -> None:
         self.txn_attempts += 1
         self.txn_start_times.append(time)
+        if attempt > 1:
+            self.retries_by_static[static_id] += 1
+
+    def _record_txn_start_fast(self, time: int, attempt: int, static_id: int) -> None:
+        self.txn_attempts += 1
         if attempt > 1:
             self.retries_by_static[static_id] += 1
 
@@ -155,6 +183,12 @@ class StatsCollector:
             self.access_offsets_write[offset] += 1
         else:
             self.access_offsets_read[offset] += 1
+        if hit_l1:
+            self.l1_hits += 1
+        else:
+            self.l1_misses += 1
+
+    def _record_access_fast(self, offset: int, is_write: bool, hit_l1: bool) -> None:
         if hit_l1:
             self.l1_hits += 1
         else:

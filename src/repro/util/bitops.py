@@ -14,6 +14,13 @@ mask into its sub-block mask and :func:`spread_mask` goes the other way.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from functools import lru_cache
+
+#: Cache bound for the memoized mask conversions.  Masks are drawn from
+#: the (small) set of distinct access footprints a workload generates, so
+#: in practice the caches stay far below this; the bound only guards
+#: against adversarial mask streams growing memory without limit.
+_MASK_CACHE_SIZE = 1 << 16
 
 __all__ = [
     "bit_count",
@@ -28,17 +35,8 @@ __all__ = [
 ]
 
 
-def byte_mask(offset: int, size: int, line_size: int = 64) -> int:
-    """Return the byte mask for an access of ``size`` bytes at ``offset``.
-
-    The access must lie entirely within a single line; callers split
-    line-crossing accesses before building masks.
-
-    >>> bin(byte_mask(0, 4))
-    '0b1111'
-    >>> bin(byte_mask(6, 2))
-    '0b11000000'
-    """
+@lru_cache(maxsize=_MASK_CACHE_SIZE)
+def _byte_mask_cached(offset: int, size: int, line_size: int) -> int:
     if size <= 0:
         raise ValueError(f"access size must be positive, got {size}")
     if offset < 0 or offset + size > line_size:
@@ -47,6 +45,22 @@ def byte_mask(offset: int, size: int, line_size: int = 64) -> int:
             f"{line_size}-byte line"
         )
     return ((1 << size) - 1) << offset
+
+
+def byte_mask(offset: int, size: int, line_size: int = 64) -> int:
+    """Return the byte mask for an access of ``size`` bytes at ``offset``.
+
+    The access must lie entirely within a single line; callers split
+    line-crossing accesses before building masks.  Results are memoized
+    per ``(offset, size, line_size)`` — the hot per-access path recomputes
+    the same handful of masks millions of times.
+
+    >>> bin(byte_mask(0, 4))
+    '0b1111'
+    >>> bin(byte_mask(6, 2))
+    '0b11000000'
+    """
+    return _byte_mask_cached(offset, size, line_size)
 
 
 def masks_overlap(a: int, b: int) -> bool:
@@ -79,17 +93,8 @@ def iter_set_bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
-def reduce_mask(mask: int, line_size: int, n_blocks: int) -> int:
-    """Collapse a byte mask to an ``n_blocks``-bit sub-block mask.
-
-    Sub-block ``j`` is set when any byte in
-    ``[j * line_size / n_blocks, (j + 1) * line_size / n_blocks)`` is set.
-
-    >>> bin(reduce_mask(0b1111, 64, 4))        # bytes 0..3 -> sub-block 0
-    '0b1'
-    >>> bin(reduce_mask(1 << 63, 64, 4))       # byte 63 -> sub-block 3
-    '0b1000'
-    """
+@lru_cache(maxsize=_MASK_CACHE_SIZE)
+def _reduce_mask_cached(mask: int, line_size: int, n_blocks: int) -> int:
     if n_blocks <= 0 or line_size % n_blocks != 0:
         raise ValueError(
             f"line of {line_size} bytes cannot be split into {n_blocks} sub-blocks"
@@ -103,11 +108,24 @@ def reduce_mask(mask: int, line_size: int, n_blocks: int) -> int:
     return out
 
 
-def spread_mask(block_mask: int, line_size: int, n_blocks: int) -> int:
-    """Expand a sub-block mask back into the byte mask it covers.
+def reduce_mask(mask: int, line_size: int, n_blocks: int) -> int:
+    """Collapse a byte mask to an ``n_blocks``-bit sub-block mask.
 
-    Inverse-ish of :func:`reduce_mask`: ``spread(reduce(m))`` covers ``m``.
+    Sub-block ``j`` is set when any byte in
+    ``[j * line_size / n_blocks, (j + 1) * line_size / n_blocks)`` is set.
+    Memoized per ``(mask, line_size, n_blocks)``: the sub-blocking
+    detector reduces the same access footprints on every record/probe.
+
+    >>> bin(reduce_mask(0b1111, 64, 4))        # bytes 0..3 -> sub-block 0
+    '0b1'
+    >>> bin(reduce_mask(1 << 63, 64, 4))       # byte 63 -> sub-block 3
+    '0b1000'
     """
+    return _reduce_mask_cached(mask, line_size, n_blocks)
+
+
+@lru_cache(maxsize=_MASK_CACHE_SIZE)
+def _spread_mask_cached(block_mask: int, line_size: int, n_blocks: int) -> int:
     if n_blocks <= 0 or line_size % n_blocks != 0:
         raise ValueError(
             f"line of {line_size} bytes cannot be split into {n_blocks} sub-blocks"
@@ -122,6 +140,15 @@ def spread_mask(block_mask: int, line_size: int, n_blocks: int) -> int:
             )
         out |= block_full << (j * block_size)
     return out
+
+
+def spread_mask(block_mask: int, line_size: int, n_blocks: int) -> int:
+    """Expand a sub-block mask back into the byte mask it covers.
+
+    Inverse-ish of :func:`reduce_mask`: ``spread(reduce(m))`` covers ``m``.
+    Memoized like :func:`reduce_mask`.
+    """
+    return _spread_mask_cached(block_mask, line_size, n_blocks)
 
 
 def mask_to_ranges(mask: int) -> list[tuple[int, int]]:

@@ -124,3 +124,27 @@ class TestAbortBreakdown:
         [(_, true_c, false_c, cap, user, val)] = figures.abort_breakdown(lab)
         assert user > 0
         assert user >= max(true_c, false_c) * 0.5
+
+
+class TestComputeAllFigures:
+    def test_full_pipeline_keys(self, suite):
+        out = figures.compute_all_figures(suite)
+        assert {
+            "fig1_false_rates", "fig2_breakdown", "fig3_time_series",
+            "fig4_line_histogram", "fig5_offset_histogram",
+            "fig8_sensitivity", "fig9_overall_reduction",
+            "fig10_exec_improvement", "abort_breakdown",
+        } <= set(out)
+
+    def test_fig8_skipped_without_events(self):
+        no_events = run_suite(
+            txns_per_core=40, seed=3, benchmarks=BENCHES, record_events=False
+        )
+        out = figures.compute_all_figures(no_events)
+        assert "fig8_sensitivity" not in out
+        assert "fig1_false_rates" in out
+
+    def test_matches_individual_calls(self, suite):
+        out = figures.compute_all_figures(suite)
+        assert out["fig1_false_rates"] == figures.fig1_false_rates(suite)
+        assert out["fig9_overall_reduction"] == figures.fig9_overall_reduction(suite)

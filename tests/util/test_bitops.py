@@ -168,6 +168,39 @@ class TestReduceSpread:
             assert flag == seen or flag
 
 
+class TestMemoization:
+    """The mask builders are lru_cached on the hot path; caching must be
+    invisible (same values, errors still raised on every call)."""
+
+    def test_cached_value_equals_fresh_computation(self):
+        from repro.util.bitops import _reduce_mask_cached
+
+        _reduce_mask_cached.cache_clear()
+        m = byte_mask(12, 8)
+        first = reduce_mask(m, 64, 4)
+        again = reduce_mask(m, 64, 4)
+        assert first == again == 0b11
+        info = _reduce_mask_cached.cache_info()
+        assert info.hits >= 1
+
+    def test_errors_raised_on_repeat_calls(self):
+        # lru_cache does not cache exceptions; validation must fire every
+        # time a bad argument comes in.
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                byte_mask(60, 8)
+            with pytest.raises(ValueError):
+                reduce_mask(1, 64, 3)
+            with pytest.raises(ValueError):
+                spread_mask(1 << 4, 64, 4)
+
+    @given(_accesses, _subcounts)
+    def test_cache_transparent_under_property_load(self, acc, n):
+        off, size = acc
+        m = byte_mask(off, size)
+        assert reduce_mask(m, 64, n) == reduce_mask(int(m), 64, int(n))
+
+
 class TestMaskToRanges:
     def test_empty(self):
         assert mask_to_ranges(0) == []
