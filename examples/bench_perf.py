@@ -11,7 +11,12 @@ Three measurements, each with its built-in honesty check:
    benchmarks at ``jobs=1`` vs ``jobs=4``.  The observed speedup depends
    on the host: on a single-CPU container process-pool fan-out cannot
    beat serial, so ``cpu_count`` is recorded next to the numbers.
-3. **Figure pipeline** — a small ``run_suite`` plus
+3. **Summary transfer** — the same ``run_many(jobs=4)`` batch shipping
+   full collectors vs compact ``RunSummary`` objects across the process
+   boundary.  The per-result pickle payloads are measured and every
+   summary's counters are asserted bit-identical to its full
+   counterpart before the speedup is reported.
+4. **Figure pipeline** — a small ``run_suite`` plus
    ``compute_all_figures``, timed separately, so simulation cost and
    analysis cost are visible on their own.
 
@@ -23,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import platform
 import sys
 import time
@@ -31,6 +37,7 @@ from repro.analysis.experiments import run_suite
 from repro.analysis.figures import compute_all_figures
 from repro.config import DetectionScheme, default_system
 from repro.sim.engine import SimulationEngine
+from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import compare_systems
 from repro.workloads.registry import get_workload
 from repro.workloads.vacation import VacationWorkload
@@ -106,6 +113,45 @@ def bench_parallel(txns: int, jobs: int = 4, seed: int = 1) -> dict:
     }
 
 
+def bench_transfer(txns: int, jobs: int = 4, seed: int = 1) -> dict:
+    """Full-collector vs RunSummary transfer for one pooled batch."""
+    specs = [
+        RunSpec(
+            workload=name,
+            config=default_system(scheme, 4),
+            seed=seed,
+            txns_per_core=txns,
+            label=f"{name}:{scheme.value}",
+        )
+        for name in PARALLEL_BENCHMARKS
+        for scheme in (DetectionScheme.ASF_BASELINE, DetectionScheme.SUBBLOCK,
+                       DetectionScheme.PERFECT)
+    ]
+    full, full_s = _timed(lambda: run_many(specs, jobs=jobs, transfer="full"))
+    lean, lean_s = _timed(
+        lambda: run_many(specs, jobs=jobs, transfer="summary")
+    )
+    identical = all(
+        f.stats.summary() == s.stats.summary() for f, s in zip(full, lean)
+    )
+    if not identical:
+        raise AssertionError("summary transfer diverged from full collectors")
+    full_bytes = sum(len(pickle.dumps(r.stats)) for r in full)
+    lean_bytes = sum(len(pickle.dumps(r.stats)) for r in lean)
+    return {
+        "benchmarks": list(PARALLEL_BENCHMARKS),
+        "runs": len(specs),
+        "jobs": jobs,
+        "full_seconds": round(full_s, 4),
+        "summary_seconds": round(lean_s, 4),
+        "speedup": round(full_s / lean_s, 3),
+        "full_payload_bytes": full_bytes,
+        "summary_payload_bytes": lean_bytes,
+        "payload_ratio": round(full_bytes / lean_bytes, 1),
+        "counters_identical": True,
+    }
+
+
 def bench_figures(txns: int, seed: int = 1) -> dict:
     """Simulation vs analysis cost of the figure pipeline."""
     suite, sim_s = _timed(
@@ -142,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "hot_path": bench_hot_path(hot_txns),
         "parallel": bench_parallel(par_txns),
+        "transfer": bench_transfer(par_txns),
         "figure_pipeline": bench_figures(fig_txns),
     }
     with open(args.out, "w") as fh:
@@ -156,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  parallel : {par['runs']} runs, jobs={par['jobs']}: "
           f"{par['parallel_seconds']}s vs serial {par['serial_seconds']}s "
           f"({par['speedup']}x on {report['meta']['cpu_count']} CPUs)")
+    tr = report["transfer"]
+    print(f"  transfer : summary {tr['summary_seconds']}s vs full "
+          f"{tr['full_seconds']}s ({tr['speedup']}x); payload "
+          f"{tr['summary_payload_bytes']:,} B vs "
+          f"{tr['full_payload_bytes']:,} B ({tr['payload_ratio']}x smaller, "
+          f"counters identical)")
     print(f"  figures  : simulate {report['figure_pipeline']['simulate_seconds']}s, "
           f"analyse {report['figure_pipeline']['compute_figures_seconds']}s")
     return 0

@@ -21,9 +21,16 @@ from dataclasses import dataclass, field
 from repro.config import DetectionScheme, SystemConfig, default_system
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import RunResult
+from repro.telemetry.summary import MetricStats, aggregate_metrics
 from repro.workloads.registry import BENCHMARK_NAMES
 
-__all__ = ["BenchResult", "SuiteResults", "run_suite"]
+__all__ = [
+    "BenchResult",
+    "SeedSweepResults",
+    "SuiteResults",
+    "run_seed_sweep",
+    "run_suite",
+]
 
 #: The four evaluation figures of the STAMP subset (Figures 3-5).
 FOCUS_BENCHMARKS = ("vacation", "genome", "kmeans", "intruder")
@@ -139,6 +146,13 @@ def run_suite(
             record_events=(
                 record_events and scheme is DetectionScheme.ASF_BASELINE
             ),
+            # Figures 4/5 read detail histograms off the baseline run even
+            # when event recording is off, so it must travel as the full
+            # collector; the other schemes only contribute aggregates and
+            # default to the cheap summary transfer.
+            transfer=(
+                "full" if scheme is DetectionScheme.ASF_BASELINE else "auto"
+            ),
         )
         for name in benchmarks
         for scheme in _SUITE_SCHEMES
@@ -156,3 +170,66 @@ def run_suite(
             perfect=runs[DetectionScheme.PERFECT],
         )
     return suite
+
+
+@dataclass(slots=True)
+class SeedSweepResults:
+    """Multi-seed repetitions of the evaluation, for mean ± stdev metrics.
+
+    ``runs[(bench, scheme_value)]`` holds one compact
+    :class:`~repro.sim.runner.RunResult` per seed, in seed order.
+    """
+
+    txns_per_core: int
+    seeds: tuple[int, ...]
+    benchmarks: tuple[str, ...]
+    schemes: tuple[DetectionScheme, ...]
+    runs: dict[tuple[str, str], list[RunResult]] = field(default_factory=dict)
+
+    def metrics(self, bench: str, scheme: str) -> dict[str, MetricStats]:
+        """Mean ± stdev over the seeds for every summary metric."""
+        return aggregate_metrics([r.stats for r in self.runs[(bench, scheme)]])
+
+
+def run_seed_sweep(
+    txns_per_core: int = 200,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    n_subblocks: int = 4,
+    config: SystemConfig | None = None,
+    schemes: tuple[DetectionScheme, ...] = _SUITE_SCHEMES,
+    jobs: int = 1,
+) -> SeedSweepResults:
+    """Repeat benchmarks × schemes over several seeds.
+
+    Every run ships back as a compact summary (no per-event detail), so
+    even a wide sweep is cheap to fan out over a pool; the per-metric
+    spread comes from :func:`repro.telemetry.aggregate_metrics`.
+    """
+    if not seeds:
+        raise ValueError("run_seed_sweep needs at least one seed")
+    base_cfg = config if config is not None else default_system()
+    specs = [
+        RunSpec(
+            workload=name,
+            config=base_cfg.with_scheme(scheme, n_subblocks),
+            seed=seed,
+            txns_per_core=txns_per_core,
+            label=f"{name}:{scheme.value}:s{seed}",
+        )
+        for name in benchmarks
+        for scheme in schemes
+        for seed in seeds
+    ]
+    results = run_many(specs, jobs=jobs, transfer="summary")
+    sweep = SeedSweepResults(
+        txns_per_core=txns_per_core,
+        seeds=tuple(seeds),
+        benchmarks=tuple(benchmarks),
+        schemes=schemes,
+    )
+    it = iter(results)
+    for name in benchmarks:
+        for scheme in schemes:
+            sweep.runs[(name, scheme.value)] = [next(it) for _ in seeds]
+    return sweep

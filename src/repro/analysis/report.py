@@ -8,7 +8,7 @@ share one implementation.
 from __future__ import annotations
 
 from repro.analysis import figures
-from repro.analysis.experiments import SuiteResults
+from repro.analysis.experiments import SeedSweepResults, SuiteResults
 from repro.config import TABLE2_DESCRIPTION
 from repro.core.subblock_state import TABLE1_ROWS
 from repro.util.tables import format_series, format_table, percent
@@ -16,6 +16,7 @@ from repro.workloads.registry import workload_table
 
 __all__ = [
     "render_all",
+    "render_seed_sweep",
     "render_fig1",
     "render_fig2",
     "render_fig3",
@@ -166,6 +167,32 @@ def render_abort_breakdown(suite: SuiteResults) -> str:
          "validation"),
         rows,
         title="Supplementary: baseline aborts by cause",
+    )
+
+
+def render_seed_sweep(sweep: SeedSweepResults) -> str:
+    """Mean ± stdev of the headline metrics over the sweep's seeds."""
+    rows = []
+    for name in sweep.benchmarks:
+        for scheme in sweep.schemes:
+            m = sweep.metrics(name, scheme.value)
+            rows.append(
+                (
+                    name,
+                    scheme.value,
+                    m["txn_commits"].format(precision=1),
+                    m["false_rate"].format(precision=4),
+                    m["execution_cycles"].format(precision=0),
+                    m["avg_retries"].format(precision=3),
+                )
+            )
+    return format_table(
+        ("benchmark", "system", "commits", "false rate", "cycles", "retries"),
+        rows,
+        title=(
+            f"Seed sweep: {len(sweep.seeds)} seeds "
+            f"{tuple(sweep.seeds)}, mean ± stdev"
+        ),
     )
 
 

@@ -10,6 +10,10 @@ Subcommands::
     repro-asf ablate genome              # dirty-state + forced-WAW ablations
     repro-asf save-scripts ssca2 out.jsonl   # compile + serialize a program
     repro-asf replay out.jsonl           # simulate a serialized program
+    repro-asf trace kmeans events.jsonl  # export a JSONL event trace
+
+``--seeds N`` on ``run``/``suite`` repeats the experiment over seeds
+1..N and reports every metric as mean ± sample stdev.
 
 The CLI is a thin veneer over the library; anything it prints is computed
 by :mod:`repro.analysis`.
@@ -20,8 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.experiments import run_suite
-from repro.analysis.report import render_all
+from repro.analysis.experiments import run_seed_sweep, run_suite
+from repro.analysis.report import render_all, render_seed_sweep
 from repro.analysis.sweeps import (
     ablation_dirty_state,
     ablation_forced_waw,
@@ -29,7 +33,8 @@ from repro.analysis.sweeps import (
 )
 from repro.config import DetectionScheme, SystemConfig, default_system
 from repro.core.overhead import OverheadModel
-from repro.sim.runner import compare_systems, run_scripts
+from repro.sim.runner import compare_systems, compare_systems_seeds, run_scripts
+from repro.telemetry import aggregate_metrics
 from repro.trace.scriptio import load_scripts, save_scripts
 from repro.util.tables import format_table, percent
 from repro.workloads.registry import BENCHMARK_NAMES, get_workload, workload_table
@@ -80,6 +85,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _seed_list(args: argparse.Namespace) -> tuple[int, ...]:
+    """Seeds for a ``--seeds N`` fan-out: N seeds starting at ``--seed``."""
+    return tuple(range(args.seed, args.seed + args.seeds))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
     schemes = ALL_SCHEMES if args.all_schemes else (
@@ -87,6 +97,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         DetectionScheme.SUBBLOCK,
         DetectionScheme.PERFECT,
     )
+    if args.seeds > 1:
+        seeds = _seed_list(args)
+        by_scheme = compare_systems_seeds(
+            workload, seeds, n_subblocks=args.subblocks,
+            check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
+        )
+        rows = []
+        for name, runs in by_scheme.items():
+            m = aggregate_metrics(r.stats for r in runs)
+            rows.append(
+                (
+                    name,
+                    m["txn_commits"].format(precision=1),
+                    m["conflicts_total"].format(precision=1),
+                    m["false_rate"].format(precision=4),
+                    m["avg_retries"].format(precision=3),
+                    m["execution_cycles"].format(precision=0),
+                )
+            )
+        print(
+            format_table(
+                ("system", "commits", "conflicts", "false rate", "retries",
+                 "cycles"),
+                rows,
+                title=(
+                    f"{args.benchmark} ({len(seeds)} seeds {seeds}, "
+                    f"{args.txns} txns/core, mean ± stdev)"
+                ),
+            )
+        )
+        return 0
     results = compare_systems(
         workload, seed=args.seed, n_subblocks=args.subblocks,
         check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
@@ -104,7 +145,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     suite = run_suite(txns_per_core=args.txns, seed=args.seed, jobs=args.jobs)
-    print(render_all(suite))
+    out = render_all(suite)
+    if args.seeds > 1:
+        sweep = run_seed_sweep(
+            txns_per_core=args.txns, seeds=_seed_list(args), jobs=args.jobs,
+        )
+        out += "\n\n" + "=" * 72 + "\n\n" + render_seed_sweep(sweep)
+    print(out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.runner import run_workload
+
+    workload = get_workload(args.benchmark, args.txns)
+    cfg = default_system(
+        DetectionScheme(args.scheme), args.subblocks
+    ).with_telemetry(
+        sink="trace", trace_path=args.path, trace_accesses=args.accesses,
+    )
+    res = run_workload(workload, cfg, seed=args.seed, check_atomicity=False)
+    with open(args.path, encoding="utf-8") as fh:
+        n_lines = sum(1 for _ in fh)
+    print(
+        f"wrote {args.path}: {n_lines} events "
+        f"({res.stats.txn_commits} commits, "
+        f"{res.stats.conflicts.total} conflicts)"
+    )
     return 0
 
 
@@ -212,7 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list the Table III benchmarks")
     p_list.set_defaults(func=_cmd_list)
 
-    def common(p, bench=True):
+    def common(p, bench=True, seeds=False):
         if bench:
             p.add_argument("benchmark", choices=BENCHMARK_NAMES)
         p.add_argument("--txns", type=int, default=200)
@@ -222,9 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for independent runs "
             "(1 = serial, 0 = all cores); results are identical either way",
         )
+        if seeds:
+            p.add_argument(
+                "--seeds", type=int, default=1,
+                help="repeat over N seeds (starting at --seed) and report "
+                "each metric as mean ± stdev",
+            )
 
     p_run = sub.add_parser("run", help="run one benchmark on all systems")
-    common(p_run)
+    common(p_run, seeds=True)
     p_run.add_argument("--subblocks", type=int, default=4)
     p_run.add_argument("--check", action="store_true",
                        help="enable the atomicity checker")
@@ -233,8 +306,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="regenerate every table and figure")
-    common(p_suite, bench=False)
+    common(p_suite, bench=False, seeds=True)
     p_suite.set_defaults(func=_cmd_suite)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one benchmark and export a JSONL event trace"
+    )
+    common(p_trace)
+    p_trace.add_argument("path", help="output .jsonl file")
+    p_trace.add_argument("--scheme", default="subblock",
+                         choices=[s.value for s in ALL_SCHEMES])
+    p_trace.add_argument("--subblocks", type=int, default=4)
+    p_trace.add_argument("--accesses", action="store_true",
+                         help="also trace per-access events (large)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_ovh = sub.add_parser("overhead", help="Section IV-E hardware cost model")
     p_ovh.add_argument("--subblocks", type=int, default=4)

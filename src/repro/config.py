@@ -29,8 +29,12 @@ __all__ = [
     "LatencyConfig",
     "SystemConfig",
     "TABLE2_DESCRIPTION",
+    "TelemetryConfig",
     "default_system",
 ]
+
+#: Valid values of :attr:`TelemetryConfig.sink`.
+TELEMETRY_SINKS = ("auto", "counters", "detail", "trace")
 
 
 class ConflictResolution(enum.Enum):
@@ -177,6 +181,35 @@ class HtmConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class TelemetryConfig:
+    """How a run's events are consumed (see :mod:`repro.telemetry`).
+
+    * ``sink="auto"`` — the caller's ``record_detail``/``record_events``
+      flags decide (the default, and the pre-telemetry behaviour);
+    * ``"counters"`` — force the counter-only fast path;
+    * ``"detail"`` — force the full-detail collector;
+    * ``"trace"`` — full detail plus a JSONL event trace written to
+      ``trace_path`` (required).  ``trace_accesses`` additionally streams
+      the per-access events, which dominate trace volume.
+
+    ``trace_path`` may also be set with ``sink="auto"``/``"detail"`` to
+    trace without changing collector selection.
+    """
+
+    sink: str = "auto"
+    trace_path: str | None = None
+    trace_accesses: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sink not in TELEMETRY_SINKS:
+            raise ConfigError(
+                f"telemetry sink must be one of {TELEMETRY_SINKS}, got {self.sink!r}"
+            )
+        if self.sink == "trace" and self.trace_path is None:
+            raise ConfigError("telemetry sink 'trace' requires trace_path")
+
+
+@dataclass(frozen=True, slots=True)
 class SystemConfig:
     """Complete description of a simulated machine + HTM scheme."""
 
@@ -201,6 +234,7 @@ class SystemConfig:
     )
     latency: LatencyConfig = field(default_factory=LatencyConfig)
     htm: HtmConfig = field(default_factory=HtmConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     track_values: bool = True
 
     def __post_init__(self) -> None:
@@ -239,6 +273,10 @@ class SystemConfig:
             n_subblocks=self.htm.n_subblocks if n_subblocks is None else n_subblocks,
         )
         return replace(self, htm=htm)
+
+    def with_telemetry(self, **overrides) -> "SystemConfig":
+        """A copy with telemetry fields overridden (same machine)."""
+        return replace(self, telemetry=replace(self.telemetry, **overrides))
 
     def describe(self) -> str:
         """Human-readable machine description (regenerates Table II)."""

@@ -38,7 +38,8 @@ from repro.mem.moesi import (
     on_non_invalidating_probe,
     supplies_data,
 )
-from repro.sim.stats import StatsCollector
+from repro.telemetry.events import EventSink
+from repro.telemetry.sinks import DetailSink
 
 __all__ = ["AccessOutcome", "HtmMachine"]
 
@@ -86,16 +87,22 @@ class HtmMachine:
     def __init__(
         self,
         config: SystemConfig,
-        stats: StatsCollector | None = None,
+        stats: EventSink | None = None,
         checker=None,
         detector: ConflictDetector | None = None,
         use_sharer_index: bool = True,
     ) -> None:
         self.config = config
-        self.stats = stats if stats is not None else StatsCollector()
+        # All measurement goes through the EventSink protocol; ``stats``
+        # accepts any sink (the name survives from the collector era —
+        # tests and tools read ``machine.stats``).  ``sink`` is the same
+        # object under its role-accurate name.
+        self.sink: EventSink = stats if stats is not None else DetailSink()
+        self.stats = self.sink
         self.checker = checker
         self.detector = detector if detector is not None else make_detector(config)
         self.mem = MemorySystem(config)
+        self.mem.sink = self.sink
         self.bus = SnoopBus(config.n_cores)
         self.amap: AddressMap = self.mem.amap
         self.tokens = TokenAllocator()
@@ -138,7 +145,7 @@ class HtmMachine:
         if txn.core != core:
             raise ProtocolError("transaction bound to a different core")
         self.active[core] = txn
-        self.stats.record_txn_start(txn.start_time, txn.attempt, txn.static_id)
+        self.sink.on_txn_start(core, txn.start_time, txn.attempt, txn.static_id)
 
     def commit(self, core: int, time: int) -> Transaction:
         """Commit the core's transaction: validate, publish redo, gang-clear.
@@ -158,7 +165,7 @@ class HtmMachine:
         self._release_spec_lines(core, txn)
         txn.mark_committed(time)
         self.active[core] = None
-        self.stats.record_commit()
+        self.sink.on_txn_commit(core, time)
         return txn
 
     def abort_self(self, core: int, time: int, cause: AbortCause) -> Transaction:
@@ -296,7 +303,7 @@ class HtmMachine:
             st is not None and valid and is_write and detector.rr_hit(st, mask)
         )
         if force_probe:
-            self.stats.record_dirty_reprobe()
+            self.sink.on_dirty_reprobe(core, line_addr, time)
 
         out = AccessOutcome(latency=0, hit_l1=False, dirty_reprobe=force_probe)
         filled = False
@@ -328,6 +335,7 @@ class HtmMachine:
                     # that only needed the rr_bits conflict check.
                     self._invalidate_remotes(core, line_addr)
                     line.state = MoesiState.MODIFIED
+                    self.mem.note_owner(line_addr, core)
                     out.latency += lat.l1_hit + lat.cache_to_cache // 2
                     out.hit_l1 = True
                 else:
@@ -410,7 +418,7 @@ class HtmMachine:
         else:
             self._apply_load(core, line, line_addr, offset, size, txn)
 
-        self.stats.record_access(offset, is_write, out.hit_l1)
+        self.sink.on_access(core, line_addr, offset, is_write, out.hit_l1)
         return out
 
     # -- probes ---------------------------------------------------------------
@@ -468,7 +476,7 @@ class HtmMachine:
                 forced_waw=check.forced_waw,
             )
             records.append(rec)
-            self.stats.record_conflict(rec)
+            self.sink.on_conflict(rec)
             cause = AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
             if (
                 self.config.htm.resolution is ConflictResolution.OLDER_WINS
@@ -510,6 +518,10 @@ class HtmMachine:
         for r in self._holder_targets(core, line_addr):
             line = self.mem.l1s[r].lookup(line_addr, touch=False)
             if line is not None and line.valid:
+                if line.state is MoesiState.EXCLUSIVE:
+                    # E→S loses supply capability; M→O keeps it (same
+                    # core), so only the E demotion moves the pointer.
+                    self.mem.disown(line_addr, r)
                 line.state = on_non_invalidating_probe(line.state)
 
     def _remote_spec_bits(self, core: int, line_addr: int) -> int:
@@ -537,18 +549,29 @@ class HtmMachine:
         """
         supplier: int | None = None
         if self.use_sharer_index:
-            supply_order = self._rr_order(core, self.mem.holders_mask(line_addr, core))
+            # O(1) supplier selection: the MOESI invariant admits at most
+            # one supply-capable (M/O/E) copy, and ``l1_owner`` tracks it,
+            # so there is nothing to walk — either the owner supplies or
+            # memory does.  An owner equal to the requester only happens
+            # on the dirty-refetch path, where no *other* supplier can
+            # exist either.
+            owner = self.mem.l1_owner.get(line_addr, -1)
+            if owner >= 0 and owner != core:
+                line = self.mem.l1s[owner].lookup(line_addr, touch=False)
+                if line is not None and line.valid and supplies_data(line.state):
+                    rst = self.spec_tables[owner].get(line_addr)
+                    if rst is None or not rst.any_dirty:
+                        supplier = owner
         else:
-            supply_order = self.bus.snoop_order(core)
-        for r in supply_order:
-            line = self.mem.l1s[r].lookup(line_addr, touch=False)
-            if line is None or not line.valid or not supplies_data(line.state):
-                continue
-            rst = self.spec_tables[r].get(line_addr)
-            if rst is not None and rst.any_dirty:
-                continue  # stale words present; let memory respond
-            supplier = r
-            break
+            for r in self.bus.snoop_order(core):
+                line = self.mem.l1s[r].lookup(line_addr, touch=False)
+                if line is None or not line.valid or not supplies_data(line.state):
+                    continue
+                rst = self.spec_tables[r].get(line_addr)
+                if rst is not None and rst.any_dirty:
+                    continue  # stale words present; let memory respond
+                supplier = r
+                break
         # Piggy-back bits are collected from every core holding
         # speculatively written sub-blocks of the line — including (for the
         # idealised perfect system) invalidated-but-retained speculative
@@ -564,7 +587,9 @@ class HtmMachine:
             src = self.mem.l1s[supplier].lookup(line_addr, touch=False)
             assert src is not None and src.data is not None
             data = list(src.data)
-            latency = self.config.latency.cache_to_cache
+            latency = self.mem.fill_latency(
+                core, line_addr, remote_supplier=True
+            ).latency
             self.bus.count_response(from_cache=True, piggyback=piggy != 0)
         else:
             result = self.mem.fill_latency(core, line_addr, remote_supplier=False)
@@ -602,6 +627,8 @@ class HtmMachine:
                 return False
         if result.evicted is not None:
             self._on_l1_eviction(core, result.evicted)
+        if state is MoesiState.MODIFIED or state is MoesiState.EXCLUSIVE:
+            self.mem.note_owner(line_addr, core)
         return True
 
     def _force_fill(self, l1, line_addr: int, state: MoesiState, data: list[int]):
@@ -700,7 +727,7 @@ class HtmMachine:
                 self._spec_discard(core, line_addr)
         txn.mark_aborted(time, cause)
         self.active[core] = None
-        self.stats.record_abort(cause.value, txn.wasted_cycles)
+        self.sink.on_txn_abort(core, time, cause.value, txn.wasted_cycles)
         return txn
 
     def _release_spec_lines(self, core: int, txn: Transaction) -> None:

@@ -23,6 +23,7 @@ from repro.errors import ProtocolError
 from repro.mem.address import WORD_SIZE, AddressMap
 from repro.mem.cache import CacheLine, SetAssocCache
 from repro.mem.moesi import MoesiState
+from repro.telemetry.events import EventSink, NullSink
 
 __all__ = ["AccessResult", "MemorySystem"]
 
@@ -52,8 +53,19 @@ class MemorySystem:
         # n_cores caches.  Purely an acceleration structure: it never
         # changes observable MOESI behaviour.
         self.l1_holders: dict[int, int] = {}
+        # Per-line owner pointer: line_addr -> the single core whose L1
+        # holds the line in a supply-capable state (MOESI M, O or E).
+        # The MOESI invariant guarantees at most one such copy exists, so
+        # the fill path's supplier selection is O(1) instead of a
+        # round-robin walk over the sharers.  Maintained by the HTM
+        # machine on fills/upgrades/demotions and cleared here when the
+        # owning copy leaves the cache.
+        self.l1_owner: dict[int, int] = {}
         for c, l1 in enumerate(self.l1s):
             l1.observer = self._make_holder_observer(c)
+        # Telemetry: fills are emitted through the event-sink protocol;
+        # the HTM machine installs its own sink here when it attaches.
+        self.sink: EventSink = NullSink()
         self.l2s = [
             SetAssocCache.from_config(config.l2, name=f"L2[{c}]")
             for c in range(config.n_cores)
@@ -86,9 +98,12 @@ class MemorySystem:
     # -- presence -----------------------------------------------------------
 
     def _make_holder_observer(self, core: int):
-        """Observer closure keeping ``l1_holders`` coherent for one L1."""
+        """Observer closure keeping ``l1_holders``/``l1_owner`` coherent
+        for one L1 (fires on valid↔invalid residency transitions)."""
         bit = 1 << core
         holders = self.l1_holders
+
+        owners = self.l1_owner
 
         def observe(line_addr: int, valid: bool) -> None:
             if valid:
@@ -99,6 +114,8 @@ class MemorySystem:
                     holders[line_addr] = mask
                 else:
                     holders.pop(line_addr, None)
+                if owners.get(line_addr, -1) == core:
+                    del owners[line_addr]
 
         return observe
 
@@ -122,6 +139,21 @@ class MemorySystem:
             mask ^= low
         return out
 
+    # -- owner pointer --------------------------------------------------------
+
+    def owner_of(self, line_addr: int) -> int:
+        """Core owning the supply-capable (M/O/E) copy, or -1."""
+        return self.l1_owner.get(line_addr, -1)
+
+    def note_owner(self, line_addr: int, core: int) -> None:
+        """Record that ``core``'s copy became supply-capable (M/O/E)."""
+        self.l1_owner[line_addr] = core
+
+    def disown(self, line_addr: int, core: int) -> None:
+        """Drop the owner pointer if ``core`` holds it (e.g. E→S demote)."""
+        if self.l1_owner.get(line_addr, -1) == core:
+            del self.l1_owner[line_addr]
+
     # -- latency ------------------------------------------------------------
 
     def fill_latency(self, core: int, line_addr: int, remote_supplier: bool) -> AccessResult:
@@ -133,11 +165,15 @@ class MemorySystem:
         """
         lat = self.config.latency
         if remote_supplier:
+            self.sink.on_fill(core, line_addr, "remote")
             return AccessResult(lat.cache_to_cache, "remote", hit_l1=False)
         if self.l2s[core].contains_valid(line_addr):
+            self.sink.on_fill(core, line_addr, "L2")
             return AccessResult(lat.l2_hit, "L2", hit_l1=False)
         if self.l3s[core].contains_valid(line_addr):
+            self.sink.on_fill(core, line_addr, "L3")
             return AccessResult(lat.l3_hit, "L3", hit_l1=False)
+        self.sink.on_fill(core, line_addr, "memory")
         return AccessResult(lat.memory, "memory", hit_l1=False)
 
     def hit_latency(self) -> AccessResult:

@@ -25,7 +25,7 @@ from repro.htm.backoff import BackoffManager
 from repro.htm.machine import HtmMachine
 from repro.htm.txn import AbortCause, Transaction, TxnStatus
 from repro.sim.atomicity import AtomicityChecker
-from repro.sim.stats import StatsCollector
+from repro.sim.stats import StatsCollector, build_sink
 from repro.util.rng import DeterministicRng
 from repro.workloads.base import CoreScript
 
@@ -68,7 +68,7 @@ class SimulationEngine:
         config: SystemConfig,
         scripts: list[CoreScript],
         seed: int = 1,
-        stats: StatsCollector | None = None,
+        stats: "StatsCollector | None" = None,
         check_atomicity: bool = True,
         record_events: bool = False,
         record_detail: bool = True,
@@ -80,12 +80,17 @@ class SimulationEngine:
         self.config = config
         self.scripts = scripts
         self.seed = seed
-        self.stats = (
-            stats
-            if stats is not None
-            else StatsCollector(record_events, record_detail=record_detail)
-        )
-        self.machine = HtmMachine(config, stats=self.stats)
+        if stats is not None:
+            self.stats = stats
+            self.sink = stats
+        else:
+            # config.telemetry decides the sink flavour; the collector is
+            # what run() returns, the sink is what the machine emits into
+            # (they differ only when a trace export wraps the collector).
+            self.stats, self.sink = build_sink(
+                config, record_events, record_detail=record_detail
+            )
+        self.machine = HtmMachine(config, stats=self.sink)
         self.checker: AtomicityChecker | None = None
         if check_atomicity:
             self.checker = AtomicityChecker(
@@ -126,10 +131,8 @@ class SimulationEngine:
             self._step(self.cores[core], time)
         if self.checker is not None:
             self.checker.finalize()
-        self.stats.per_core_cycles = [cs.finish_time for cs in self.cores]
-        self.stats.execution_cycles = max(
-            (cs.finish_time for cs in self.cores), default=0
-        )
+        per_core = [cs.finish_time for cs in self.cores]
+        self.sink.on_run_complete(max(per_core, default=0), per_core)
         return self.stats
 
     # -- per-core state machine ------------------------------------------------
@@ -224,6 +227,6 @@ class SimulationEngine:
         else:
             cs.capacity_streak = 0
         delay = self.config.latency.abort_overhead + cs.backoff.delay(cs.attempt)
-        self.stats.record_backoff(delay)
+        self.sink.on_backoff(cs.core, delay)
         cs.phase = Phase.BEGIN
         self._schedule(now + delay, cs.core)

@@ -7,7 +7,7 @@ seed)``.  This module turns such a batch into a pickle-safe list of
 (``jobs=1``, the deterministic reference path) or fanned out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`.
 
-Two properties are load-bearing:
+Three properties are load-bearing:
 
 * **Deterministic result ordering** — ``run_many`` returns results in
   spec order regardless of worker scheduling, and each simulation is
@@ -17,23 +17,45 @@ Two properties are load-bearing:
   are memoized per ``(workload identity, n_cores, seed)`` in each
   process, so a sweep of K points over one workload compiles it once,
   not K times (and each pool worker compiles it at most once).
+* **Cheap, lossless transfer** — workers ship a compact
+  :class:`~repro.telemetry.summary.RunSummary` back by default (the
+  ``transfer`` modes), whose aggregate counters are bit-for-bit equal to
+  the full collector's; only event-recording specs pay full pickling.
+
+``run_many`` additionally survives mid-batch worker deaths and
+per-spec timeouts (bounded pool retries, then an in-process serial
+fallback), stamping the affected results with their provenance.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.config import SystemConfig
 from repro.errors import SimulationError
 from repro.sim.engine import SimulationEngine
 from repro.sim.runner import RunResult
+from repro.telemetry.summary import RunSummary
 from repro.workloads.base import CoreScript, Workload
 
-__all__ = ["RunSpec", "compiled_scripts", "resolve_jobs", "run_many"]
+__all__ = [
+    "RunSpec",
+    "TRANSFER_MODES",
+    "compiled_scripts",
+    "execute_spec_transfer",
+    "resolve_jobs",
+    "resolve_transfer",
+    "run_many",
+]
+
+#: Valid ``transfer`` arguments to :func:`run_many`.
+TRANSFER_MODES = ("auto", "summary", "full")
 
 #: Bound on the per-process compiled-script cache (entries, not bytes).
 #: Sweeps touch a handful of (workload, n_cores, seed) keys; the bound
@@ -51,6 +73,10 @@ class RunSpec:
     worker instantiates it locally) or a :class:`Workload` instance
     (must be picklable).  ``txns_per_core`` only applies to registry
     names.  ``label`` is carried through untouched for sweep axes.
+
+    ``transfer`` is this spec's preferred result shape (``"auto"`` /
+    ``"summary"`` / ``"full"``); a batch-wide ``transfer=`` argument to
+    :func:`run_many` overrides it.  See :func:`resolve_transfer`.
     """
 
     workload: str | Workload
@@ -61,6 +87,7 @@ class RunSpec:
     check_atomicity: bool = False
     record_events: bool = False
     record_detail: bool = True
+    transfer: str = "auto"
     max_cycles: int | None = None
     #: Run the atomicity checker in non-raising mode and report the
     #: violation count on the result (the dirty-state ablation runs
@@ -176,25 +203,196 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def run_many(specs: list[RunSpec], jobs: int = 1) -> list[RunResult]:
+def resolve_transfer(spec: RunSpec, override: str | None) -> str:
+    """Concrete transfer mode ("summary" | "full") for one spec.
+
+    Precedence: the batch-wide ``override`` beats the spec's own
+    ``transfer`` field.  ``auto`` keeps the full collector only when the
+    spec records raw events (figures read the event streams; a summary
+    cannot carry them) and ships the compact :class:`RunSummary`
+    otherwise.  An explicit ``"summary"`` is likewise upgraded to
+    ``"full"`` for event-recording specs rather than silently dropping
+    their data.
+    """
+    mode = override if override is not None else spec.transfer
+    if mode not in TRANSFER_MODES:
+        raise SimulationError(
+            f"transfer must be one of {TRANSFER_MODES}, got {mode!r}"
+        )
+    if mode == "full" or spec.record_events:
+        return "full"
+    return "summary"
+
+
+def execute_spec_transfer(spec: RunSpec, mode: str) -> RunResult:
+    """Run one spec and shape its result for transfer.
+
+    ``mode="full"`` is :func:`execute_spec` unchanged.  ``mode="summary"``
+    turns off the detail layer (the raw material could not be shipped
+    anyway) and replaces ``stats`` with a pickle-cheap
+    :class:`~repro.telemetry.summary.RunSummary` holding the identical
+    aggregate counters.
+    """
+    if mode == "full":
+        return execute_spec(spec)
+    res = execute_spec(replace(spec, record_detail=False))
+    summary = RunSummary.from_sink(
+        res.stats,
+        workload=res.workload,
+        scheme=res.scheme,
+        seed=res.seed,
+        label=spec.label,
+        violations=res.violations,
+    )
+    res.stats = summary
+    return res
+
+
+def _mark(res: RunResult, worker_retries: int = 0, serial_fallback: bool = False) -> RunResult:
+    """Stamp resilience provenance on a result (and its summary)."""
+    res.worker_retries = worker_retries
+    res.serial_fallback = serial_fallback
+    if isinstance(res.stats, RunSummary):
+        res.stats.worker_retries = worker_retries
+        res.stats.serial_fallback = serial_fallback
+    return res
+
+
+def _pool_round(
+    specs: list[RunSpec],
+    modes: list[str],
+    indices: list[int],
+    jobs: int,
+    timeout: float | None,
+    results: list[RunResult | None],
+) -> tuple[list[int], list[int], bool]:
+    """One process-pool pass over ``indices``.
+
+    Fills ``results`` in place for every spec that completes; returns
+    ``(crashed, timed_out, pool_ok)`` — indices whose worker died
+    (retryable), indices that exceeded the time budget (not retried in a
+    pool; they go straight to serial), and whether the pool could be used
+    at all (False on sandboxed/fork-restricted hosts).
+    """
+    max_workers = min(jobs, len(indices))
+    crashed: list[int] = []
+    timed_out: list[int] = []
+    # Workers run specs concurrently, so a wall-clock budget for the whole
+    # round is the per-spec timeout times the number of serial waves.
+    budget = (
+        timeout * math.ceil(len(indices) / max_workers)
+        if timeout is not None
+        else None
+    )
+    try:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+    except (OSError, PermissionError):
+        return [], [], False
+    try:
+        future_to_index = {}
+        try:
+            for i in indices:
+                future_to_index[pool.submit(execute_spec_transfer, specs[i], modes[i])] = i
+        except (BrokenProcessPool, OSError, PermissionError):
+            # Pool died while feeding it; everything not yet submitted is
+            # retryable alongside whatever the broken futures report below.
+            pass
+        submitted = set(future_to_index.values())
+        crashed.extend(i for i in indices if i not in submitted)
+        pending = set(future_to_index)
+        done, pending = wait(pending, timeout=budget)
+        for fut in pending:
+            fut.cancel()
+            timed_out.append(future_to_index[fut])
+        for fut in done:
+            i = future_to_index[fut]
+            try:
+                results[i] = fut.result()
+            except BrokenProcessPool:
+                crashed.append(i)
+            except (OSError, PermissionError):
+                crashed.append(i)
+        # A cancelled future may still have been running; the shutdown
+        # below abandons it rather than waiting.
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return crashed, timed_out, True
+
+
+def run_many(
+    specs: list[RunSpec],
+    jobs: int = 1,
+    *,
+    transfer: str | None = None,
+    timeout: float | None = None,
+    worker_retries: int = 1,
+) -> list[RunResult]:
     """Execute every spec; results come back in spec order.
 
     ``jobs=1`` runs in-process (no pickling, shared script cache).
     ``jobs>1`` fans out over a process pool; each worker executes whole
     specs, so per-run determinism is untouched and the only difference
     from the serial path is wall-clock.  ``jobs<=0`` uses all cores.
+
+    ``transfer`` picks what workers ship back: ``"auto"`` (default) sends
+    the compact :class:`RunSummary` unless a spec records events,
+    ``"summary"``/``"full"`` force the choice per batch (event-recording
+    specs always travel full).  Summaries carry the identical aggregate
+    counters — ``stats.summary()`` is bit-for-bit the same either way.
+
+    Resilience: a worker death (OOM-kill, segfault) loses only the specs
+    it was running — those are resubmitted to a fresh pool up to
+    ``worker_retries`` times and finally re-run serially in-process, so a
+    mid-batch crash degrades to a slower batch, not a lost one.
+    ``timeout`` (seconds per spec) bounds each pool round; stragglers are
+    abandoned and re-run serially.  Both paths stamp
+    ``worker_retries``/``serial_fallback`` on the affected results.
+    Simulation errors (livelock, protocol violations) still propagate —
+    resilience covers infrastructure failures, not broken experiments.
     """
     jobs = resolve_jobs(jobs)
+    modes = [resolve_transfer(spec, transfer) for spec in specs]
     if jobs == 1 or len(specs) <= 1:
-        return [execute_spec(spec) for spec in specs]
-    max_workers = min(jobs, len(specs))
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(execute_spec, specs))
-    except (OSError, PermissionError) as exc:
-        # Sandboxed or fork-restricted environments: degrade to serial
-        # rather than failing the experiment.
-        results = [execute_spec(spec) for spec in specs]
-        if not results and specs:  # pragma: no cover - defensive
-            raise SimulationError(f"parallel execution failed: {exc}") from exc
-        return results
+        return [
+            execute_spec_transfer(spec, mode)
+            for spec, mode in zip(specs, modes)
+        ]
+
+    results: list[RunResult | None] = [None] * len(specs)
+    pending = list(range(len(specs)))
+    serial: list[int] = []
+    retry_count = [0] * len(specs)
+    rounds = 0
+    while pending:
+        crashed, timed_out, pool_ok = _pool_round(
+            specs, modes, pending, jobs, timeout, results
+        )
+        if not pool_ok:
+            # Sandboxed or fork-restricted environments: degrade to serial
+            # rather than failing the experiment.
+            serial.extend(pending)
+            break
+        # A spec that blew its budget once is not offered a second pool
+        # slot; it runs serially where it cannot starve others.
+        serial.extend(timed_out)
+        for i in crashed:
+            retry_count[i] += 1
+        still_retryable = [i for i in crashed if retry_count[i] <= worker_retries]
+        serial.extend(i for i in crashed if retry_count[i] > worker_retries)
+        pending = still_retryable
+        rounds += 1
+        if rounds > worker_retries + 1:  # pragma: no cover - defensive bound
+            serial.extend(pending)
+            break
+    for i in serial:
+        results[i] = _mark(
+            execute_spec_transfer(specs[i], modes[i]),
+            worker_retries=retry_count[i],
+            serial_fallback=True,
+        )
+    for i, res in enumerate(results):
+        if res is None:  # pragma: no cover - defensive
+            raise SimulationError(f"spec {i} ({specs[i].label!r}) produced no result")
+        if retry_count[i] and not res.serial_fallback:
+            _mark(res, worker_retries=retry_count[i])
+    return results

@@ -9,13 +9,23 @@ zero-false-conflict bound — exactly the comparison of Figures 9 and 10.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import DetectionScheme, SystemConfig, default_system
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import StatsCollector
 from repro.workloads.base import CoreScript, Workload
 
-__all__ = ["RunResult", "compare_systems", "run_workload", "run_scripts"]
+if TYPE_CHECKING:
+    from repro.telemetry.summary import RunSummary
+
+__all__ = [
+    "RunResult",
+    "compare_systems",
+    "compare_systems_seeds",
+    "run_workload",
+    "run_scripts",
+]
 
 
 @dataclass(slots=True)
@@ -26,10 +36,18 @@ class RunResult:
     scheme: str
     config: SystemConfig
     seed: int
-    stats: StatsCollector
+    #: Full collector (serial / ``transfer="full"``) or a compact
+    #: :class:`~repro.telemetry.summary.RunSummary` (the parallel
+    #: default) — both expose ``conflicts``, the aggregate counters and
+    #: ``summary()`` with identical values.
+    stats: "StatsCollector | RunSummary"
     #: Atomicity violations found by a non-raising checker (only ever
     #: non-zero for deliberately broken ablation variants).
     violations: int = 0
+    #: Pool-resilience provenance: how many times this spec was resubmitted
+    #: after a worker death, and whether it ultimately ran in-process.
+    worker_retries: int = 0
+    serial_fallback: bool = False
 
     @property
     def false_rate(self) -> float:
@@ -125,6 +143,7 @@ def compare_systems(
     record_events: bool = False,
     record_detail: bool = True,
     jobs: int = 1,
+    transfer: str | None = None,
 ) -> dict[str, RunResult]:
     """Run identical compiled scripts under several detection schemes.
 
@@ -132,6 +151,7 @@ def compare_systems(
     ``"perfect"``); the workload is compiled once (per process) so every
     system executes the same program.  ``jobs>1`` runs the schemes
     concurrently — results are bit-identical to the serial path.
+    ``transfer`` is forwarded to :func:`~repro.sim.parallel.run_many`.
     """
     from repro.sim.parallel import RunSpec, run_many
 
@@ -148,5 +168,49 @@ def compare_systems(
         )
         for scheme in schemes
     ]
-    results = run_many(specs, jobs=jobs)
+    results = run_many(specs, jobs=jobs, transfer=transfer)
     return {scheme.value: res for scheme, res in zip(schemes, results)}
+
+
+def compare_systems_seeds(
+    workload: Workload,
+    seeds: tuple[int, ...] | list[int],
+    n_subblocks: int = 4,
+    config: SystemConfig | None = None,
+    schemes: tuple[DetectionScheme, ...] = (
+        DetectionScheme.ASF_BASELINE,
+        DetectionScheme.SUBBLOCK,
+        DetectionScheme.PERFECT,
+    ),
+    check_atomicity: bool = True,
+    jobs: int = 1,
+) -> dict[str, list[RunResult]]:
+    """:func:`compare_systems` fanned out over several seeds.
+
+    Returns ``{scheme_value: [RunResult per seed]}`` in seed order; runs
+    use the compact summary transfer (per-run detail is not kept), so the
+    batch is cheap to fan out.  Feed each list to
+    :func:`repro.telemetry.aggregate_metrics` for mean ± stdev.
+    """
+    from repro.sim.parallel import RunSpec, run_many
+
+    if not seeds:
+        raise ValueError("compare_systems_seeds needs at least one seed")
+    base_cfg = config if config is not None else default_system()
+    specs = [
+        RunSpec(
+            workload=workload,
+            config=base_cfg.with_scheme(scheme, n_subblocks),
+            seed=seed,
+            label=f"{scheme.value}/s{seed}",
+            check_atomicity=check_atomicity,
+        )
+        for scheme in schemes
+        for seed in seeds
+    ]
+    results = run_many(specs, jobs=jobs, transfer="summary")
+    out: dict[str, list[RunResult]] = {}
+    it = iter(results)
+    for scheme in schemes:
+        out[scheme.value] = [next(it) for _ in seeds]
+    return out

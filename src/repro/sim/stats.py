@@ -1,4 +1,4 @@
-"""Run statistics.
+"""Run statistics — the standard full-detail telemetry sink.
 
 One :class:`StatsCollector` accumulates everything the paper's evaluation
 reads off a run:
@@ -12,73 +12,25 @@ reads off a run:
 * execution time (max core completion cycle, Figure 10),
 * cache/probe traffic counters.
 
-Everything is cheap to update (dict/ints); the optional ``record_events``
-flag additionally keeps the full :class:`ConflictRecord` list for
-fine-grained analysis and the open-loop Figure 8 replay.
+Since the telemetry refactor the collector *is* a
+:class:`repro.telemetry.sinks.DetailSink`: the machine layers emit typed
+events through the :class:`~repro.telemetry.events.EventSink` protocol
+(``on_conflict``, ``on_access``, …) and the accumulation logic lives in
+:mod:`repro.telemetry.sinks`.  This module keeps the historical name, the
+``record_*`` convenience methods (tests and external callers use them)
+and the sink-selection helper; :class:`ConflictCounts` is re-exported
+from its new home.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
+from repro.config import SystemConfig
+from repro.telemetry.sinks import ConflictCounts, DetailSink, JsonlTraceSink
 
-from repro.htm.conflict import ConflictRecord, ConflictType
-
-__all__ = ["ConflictCounts", "StatsCollector"]
+__all__ = ["ConflictCounts", "StatsCollector", "build_sink"]
 
 
-@dataclass(slots=True)
-class ConflictCounts:
-    """Counts of detected conflicts, split by ground truth and type."""
-
-    true_raw: int = 0
-    true_war: int = 0
-    true_waw: int = 0
-    false_raw: int = 0
-    false_war: int = 0
-    false_waw: int = 0
-
-    def add(self, ctype: ConflictType, is_false: bool) -> None:
-        key = ("false_" if is_false else "true_") + ctype.value.lower()
-        setattr(self, key, getattr(self, key) + 1)
-
-    @property
-    def total(self) -> int:
-        return (
-            self.true_raw
-            + self.true_war
-            + self.true_waw
-            + self.false_raw
-            + self.false_war
-            + self.false_waw
-        )
-
-    @property
-    def total_false(self) -> int:
-        return self.false_raw + self.false_war + self.false_waw
-
-    @property
-    def total_true(self) -> int:
-        return self.total - self.total_false
-
-    @property
-    def false_rate(self) -> float:
-        """Fraction of all conflicts that are false (Figure 1)."""
-        return self.total_false / self.total if self.total else 0.0
-
-    def false_breakdown(self) -> dict[str, float]:
-        """WAR/RAW/WAW shares of the false conflicts (Figure 2)."""
-        tot = self.total_false
-        if not tot:
-            return {"WAR": 0.0, "RAW": 0.0, "WAW": 0.0}
-        return {
-            "WAR": self.false_war / tot,
-            "RAW": self.false_raw / tot,
-            "WAW": self.false_waw / tot,
-        }
-
-
-class StatsCollector:
+class StatsCollector(DetailSink):
     """Accumulates statistics for one simulation run.
 
     ``record_detail`` gates the per-event raw material (conflict/start
@@ -90,188 +42,56 @@ class StatsCollector:
     aborts, commits, hit/miss, cycles) are identical either way.
     """
 
-    def __init__(self, record_events: bool = False, record_detail: bool = True) -> None:
-        self.record_events = record_events
-        # Full event recording is meaningless without the detail layer.
-        self.record_detail = record_detail or record_events
+    # -- legacy recording surface -------------------------------------------
+    # Thin aliases over the EventSink hooks, kept for direct callers (the
+    # machine itself now emits on_* events).  Core/address context is not
+    # part of the old signatures, so a neutral 0 is passed through.
 
-        self.conflicts = ConflictCounts()
-        self.conflict_events: list[ConflictRecord] = []
-
-        # Figure 3 raw material: event times.
-        self.false_conflict_times: list[int] = []
-        self.txn_start_times: list[int] = []
-
-        # Figure 4: false conflicts per dense line index.
-        self.false_by_line: Counter[int] = Counter()
-
-        # Figure 5: access starts by byte offset within the line,
-        # split by direction.
-        self.access_offsets_read: Counter[int] = Counter()
-        self.access_offsets_write: Counter[int] = Counter()
-
-        # Transaction outcomes.
-        self.txn_attempts: int = 0
-        self.txn_commits: int = 0
-        self.aborts_conflict_true: int = 0
-        self.aborts_conflict_false: int = 0
-        self.aborts_capacity: int = 0
-        self.aborts_user: int = 0
-        self.aborts_validation: int = 0
-        self.retries_by_static: Counter[int] = Counter()
-        self.wasted_cycles: int = 0
-        self.backoff_cycles: int = 0
-
-        # Memory-system counters.
-        self.l1_hits: int = 0
-        self.l1_misses: int = 0
-        self.dirty_reprobes: int = 0
-        self.forced_waw_aborts: int = 0
-
-        # Filled in by the engine at completion.
-        self.execution_cycles: int = 0
-        self.per_core_cycles: list[int] = []
-
-        if not self.record_detail:
-            # Swap in the counter-only hooks once, instead of branching on
-            # every one of the millions of per-access calls.
-            self.record_conflict = self._record_conflict_fast  # type: ignore[method-assign]
-            self.record_txn_start = self._record_txn_start_fast  # type: ignore[method-assign]
-            self.record_access = self._record_access_fast  # type: ignore[method-assign]
-
-    # -- recording hooks (called by machine/engine) --------------------------
-
-    def record_conflict(self, rec: ConflictRecord) -> None:
-        self.conflicts.add(rec.ctype, rec.is_false)
-        if rec.is_false:
-            self.false_conflict_times.append(rec.time)
-            self.false_by_line[rec.line_index] += 1
-        if rec.forced_waw:
-            self.forced_waw_aborts += 1
-        if self.record_events:
-            self.conflict_events.append(rec)
-
-    def _record_conflict_fast(self, rec: ConflictRecord) -> None:
-        self.conflicts.add(rec.ctype, rec.is_false)
-        if rec.forced_waw:
-            self.forced_waw_aborts += 1
+    def record_conflict(self, rec) -> None:
+        self.on_conflict(rec)
 
     def record_txn_start(self, time: int, attempt: int, static_id: int) -> None:
-        self.txn_attempts += 1
-        self.txn_start_times.append(time)
-        if attempt > 1:
-            self.retries_by_static[static_id] += 1
-
-    def _record_txn_start_fast(self, time: int, attempt: int, static_id: int) -> None:
-        self.txn_attempts += 1
-        if attempt > 1:
-            self.retries_by_static[static_id] += 1
+        self.on_txn_start(0, time, attempt, static_id)
 
     def record_commit(self) -> None:
-        self.txn_commits += 1
+        self.on_txn_commit(0, 0)
 
     def record_abort(self, cause: str, wasted: int) -> None:
-        field_name = f"aborts_{cause}"
-        setattr(self, field_name, getattr(self, field_name) + 1)
-        self.wasted_cycles += wasted
+        self.on_txn_abort(0, 0, cause, wasted)
 
     def record_backoff(self, cycles: int) -> None:
-        self.backoff_cycles += cycles
+        self.on_backoff(0, cycles)
 
     def record_access(self, offset: int, is_write: bool, hit_l1: bool) -> None:
-        if is_write:
-            self.access_offsets_write[offset] += 1
-        else:
-            self.access_offsets_read[offset] += 1
-        if hit_l1:
-            self.l1_hits += 1
-        else:
-            self.l1_misses += 1
-
-    def _record_access_fast(self, offset: int, is_write: bool, hit_l1: bool) -> None:
-        if hit_l1:
-            self.l1_hits += 1
-        else:
-            self.l1_misses += 1
+        self.on_access(0, 0, offset, is_write, hit_l1)
 
     def record_dirty_reprobe(self) -> None:
-        self.dirty_reprobes += 1
+        self.on_dirty_reprobe(0, 0, 0)
 
-    # -- derived metrics --------------------------------------------------------
 
-    @property
-    def total_aborts(self) -> int:
-        return (
-            self.aborts_conflict_true
-            + self.aborts_conflict_false
-            + self.aborts_capacity
-            + self.aborts_user
-            + self.aborts_validation
+def build_sink(
+    config: SystemConfig,
+    record_events: bool = False,
+    record_detail: bool = True,
+):
+    """Build ``(collector, sink)`` for a run per ``config.telemetry``.
+
+    The collector is always a :class:`StatsCollector` (the object callers
+    get back and read figures from); the sink is what the machine emits
+    into — the collector itself, or a :class:`JsonlTraceSink` wrapping it
+    when a trace export is requested.  ``sink="counters"`` downgrades the
+    collector to counter-only hooks unless the caller explicitly needs
+    events; ``sink="detail"``/``"trace"`` force the detail layer on.
+    """
+    tcfg = config.telemetry
+    if tcfg.sink == "counters":
+        record_detail = False
+    elif tcfg.sink in ("detail", "trace"):
+        record_detail = True
+    collector = StatsCollector(record_events, record_detail=record_detail)
+    sink = collector
+    if tcfg.trace_path is not None:
+        sink = JsonlTraceSink(
+            tcfg.trace_path, inner=collector, trace_accesses=tcfg.trace_accesses
         )
-
-    @property
-    def avg_retries(self) -> float:
-        """Average attempts per *committed* transaction."""
-        if not self.txn_commits:
-            return 0.0
-        return self.txn_attempts / self.txn_commits
-
-    def cumulative_false_series(self, n_points: int = 100) -> list[tuple[int, int]]:
-        """(time, cumulative false conflicts) sampled at n_points (Fig. 3)."""
-        return _cumulative(self.false_conflict_times, self.execution_cycles, n_points)
-
-    def cumulative_starts_series(self, n_points: int = 100) -> list[tuple[int, int]]:
-        """(time, cumulative started transactions) (Fig. 3)."""
-        return _cumulative(self.txn_start_times, self.execution_cycles, n_points)
-
-    def line_histogram(self) -> list[tuple[int, int]]:
-        """(line index, false conflicts) sorted by line index (Fig. 4)."""
-        return sorted(self.false_by_line.items())
-
-    def offset_histogram(self) -> list[tuple[int, int]]:
-        """(byte offset, accesses) over all accesses (Fig. 5)."""
-        merged: Counter[int] = Counter()
-        merged.update(self.access_offsets_read)
-        merged.update(self.access_offsets_write)
-        return sorted(merged.items())
-
-    def summary(self) -> dict[str, object]:
-        """Flat summary used by reports and the EXPERIMENTS index."""
-        return {
-            "txn_attempts": self.txn_attempts,
-            "txn_commits": self.txn_commits,
-            "aborts_total": self.total_aborts,
-            "aborts_conflict_true": self.aborts_conflict_true,
-            "aborts_conflict_false": self.aborts_conflict_false,
-            "aborts_capacity": self.aborts_capacity,
-            "aborts_user": self.aborts_user,
-            "aborts_validation": self.aborts_validation,
-            "conflicts_total": self.conflicts.total,
-            "conflicts_false": self.conflicts.total_false,
-            "false_rate": self.conflicts.false_rate,
-            "avg_retries": self.avg_retries,
-            "execution_cycles": self.execution_cycles,
-            "wasted_cycles": self.wasted_cycles,
-            "backoff_cycles": self.backoff_cycles,
-            "l1_hits": self.l1_hits,
-            "l1_misses": self.l1_misses,
-            "dirty_reprobes": self.dirty_reprobes,
-            "forced_waw_aborts": self.forced_waw_aborts,
-        }
-
-
-def _cumulative(
-    times: list[int], horizon: int, n_points: int
-) -> list[tuple[int, int]]:
-    """Sample a cumulative count of sorted-ish event times at n_points."""
-    if horizon <= 0:
-        horizon = max(times, default=1)
-    ordered = sorted(times)
-    out: list[tuple[int, int]] = []
-    idx = 0
-    for k in range(1, n_points + 1):
-        t = horizon * k // n_points
-        while idx < len(ordered) and ordered[idx] <= t:
-            idx += 1
-        out.append((t, idx))
-    return out
+    return collector, sink

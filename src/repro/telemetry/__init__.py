@@ -1,0 +1,67 @@
+"""repro.telemetry — typed events, pluggable sinks, compact summaries.
+
+The measurement layer of the simulator, sitting *below* every machine
+layer (it imports none of them):
+
+* :mod:`repro.telemetry.events` — the :class:`EventSink` protocol the
+  machine emits through, plus typed event records;
+* :mod:`repro.telemetry.sinks` — counter-only, full-detail and JSONL
+  trace-export sinks (and :class:`ConflictCounts`);
+* :mod:`repro.telemetry.summary` — pickle-cheap :class:`RunSummary`
+  transfer objects with exact summary parity, merging, and multi-seed
+  mean ± stdev aggregation.
+
+See ``docs/ARCHITECTURE.md`` for the layering and how to add a sink.
+"""
+
+from repro.telemetry.events import (
+    AccessEvent,
+    BackoffEvent,
+    ConflictEvent,
+    DirtyReprobeEvent,
+    EventSink,
+    FillEvent,
+    NullSink,
+    RunCompleteEvent,
+    TxnAbortEvent,
+    TxnCommitEvent,
+    TxnStartEvent,
+)
+from repro.telemetry.sinks import (
+    SUMMARY_KEYS,
+    ConflictCounts,
+    CounterSink,
+    DetailSink,
+    JsonlTraceSink,
+    summary_dict,
+)
+from repro.telemetry.summary import (
+    MetricStats,
+    RunSummary,
+    aggregate_metrics,
+    merge_summaries,
+)
+
+__all__ = [
+    "AccessEvent",
+    "BackoffEvent",
+    "ConflictCounts",
+    "ConflictEvent",
+    "CounterSink",
+    "DetailSink",
+    "DirtyReprobeEvent",
+    "EventSink",
+    "FillEvent",
+    "JsonlTraceSink",
+    "MetricStats",
+    "NullSink",
+    "RunCompleteEvent",
+    "RunSummary",
+    "SUMMARY_KEYS",
+    "TxnAbortEvent",
+    "TxnCommitEvent",
+    "TxnStartEvent",
+    "aggregate_metrics",
+    "merge_summaries",
+    "summary_dict",
+]

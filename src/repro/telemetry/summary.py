@@ -1,0 +1,214 @@
+"""Compact, pickle-cheap run summaries and cross-run aggregation.
+
+A :class:`RunSummary` carries every aggregate a consumer of
+``StatsCollector.summary()`` can read — the counters, derived rates,
+per-core cycles and per-static retry counts — in a small slots dataclass
+that costs a few hundred bytes to pickle, versus the full collector whose
+detail structures (timestamps, histograms, conflict records) grow with
+simulated work.  ``run_many`` workers return summaries by default; the
+exact-parity guarantee is ``RunSummary.summary() == StatsCollector.summary()``
+bit-for-bit for the same run (one shared :func:`summary_dict`
+implementation makes this true by construction, and the parity tests
+assert it end-to-end).
+
+:func:`merge_summaries` folds many runs into one (counters sum;
+``execution_cycles`` sums — total simulated cycles across runs);
+:func:`aggregate_metrics` computes mean ± stdev per summary metric for
+multi-seed confidence reporting (``repro-asf suite --seeds N``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.telemetry.sinks import (
+    COUNTER_FIELDS,
+    ConflictCounts,
+    summary_dict,
+)
+
+__all__ = ["MetricStats", "RunSummary", "aggregate_metrics", "merge_summaries"]
+
+
+@dataclass(slots=True)
+class RunSummary:
+    """Aggregates of one run (or a merge of several), cheap to ship."""
+
+    workload: str = ""
+    scheme: str = ""
+    seed: int = 0
+    label: str = ""
+    conflicts: ConflictCounts = field(default_factory=ConflictCounts)
+    txn_attempts: int = 0
+    txn_commits: int = 0
+    aborts_conflict_true: int = 0
+    aborts_conflict_false: int = 0
+    aborts_capacity: int = 0
+    aborts_user: int = 0
+    aborts_validation: int = 0
+    wasted_cycles: int = 0
+    backoff_cycles: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    dirty_reprobes: int = 0
+    forced_waw_aborts: int = 0
+    fills_l2: int = 0
+    fills_l3: int = 0
+    fills_memory: int = 0
+    fills_remote: int = 0
+    execution_cycles: int = 0
+    per_core_cycles: list[int] = field(default_factory=list)
+    retries_by_static: dict[int, int] = field(default_factory=dict)
+    violations: int = 0
+    #: How many runs this summary aggregates (1 for a single run).
+    n_runs: int = 1
+    #: Pool-worker deaths survived while producing this result (resilience
+    #: bookkeeping — deliberately NOT part of ``summary()`` so retried and
+    #: clean runs stay bit-identical).
+    worker_retries: int = 0
+    #: True when the run fell back to in-process execution (timeout or
+    #: persistent worker failure).
+    serial_fallback: bool = False
+
+    @classmethod
+    def from_sink(
+        cls,
+        sink,
+        workload: str = "",
+        scheme: str = "",
+        seed: int = 0,
+        label: str = "",
+        violations: int = 0,
+    ) -> "RunSummary":
+        """Snapshot any counting sink (CounterSink/StatsCollector)."""
+        out = cls(
+            workload=workload,
+            scheme=scheme,
+            seed=seed,
+            label=label,
+            conflicts=sink.conflicts.copy(),
+            execution_cycles=sink.execution_cycles,
+            per_core_cycles=list(sink.per_core_cycles),
+            retries_by_static=dict(sink.retries_by_static),
+            violations=violations,
+        )
+        for name in COUNTER_FIELDS:
+            setattr(out, name, getattr(sink, name))
+        return out
+
+    # -- StatsCollector-compatible surface -----------------------------------
+
+    @property
+    def total_aborts(self) -> int:
+        return (
+            self.aborts_conflict_true
+            + self.aborts_conflict_false
+            + self.aborts_capacity
+            + self.aborts_user
+            + self.aborts_validation
+        )
+
+    @property
+    def avg_retries(self) -> float:
+        """Average attempts per *committed* transaction."""
+        if not self.txn_commits:
+            return 0.0
+        return self.txn_attempts / self.txn_commits
+
+    @property
+    def conflict_events(self) -> tuple:
+        """Summaries never carry raw conflict records (compat shim)."""
+        return ()
+
+    @property
+    def txn_start_times(self) -> tuple:
+        """Summaries never carry detail timestamps (compat shim)."""
+        return ()
+
+    @property
+    def record_detail(self) -> bool:
+        return False
+
+    @property
+    def record_events(self) -> bool:
+        return False
+
+    def summary(self) -> dict[str, object]:
+        """Bit-identical to the source collector's ``summary()``."""
+        return summary_dict(self)
+
+
+def merge_summaries(summaries: Sequence[RunSummary]) -> RunSummary:
+    """Fold several run summaries into one.
+
+    Counters, conflicts, retries, violations and ``execution_cycles``
+    sum (the merged ``execution_cycles`` is total simulated cycles across
+    runs); ``per_core_cycles`` is dropped (not meaningful across runs);
+    metadata fields are kept when uniform, else marked ``"mixed"`` /
+    ``-1``.
+    """
+    if not summaries:
+        raise ValueError("merge_summaries needs at least one summary")
+
+    def uniform(values, mixed):
+        vals = set(values)
+        return vals.pop() if len(vals) == 1 else mixed
+
+    out = RunSummary(
+        workload=uniform((s.workload for s in summaries), "mixed"),
+        scheme=uniform((s.scheme for s in summaries), "mixed"),
+        seed=uniform((s.seed for s in summaries), -1),
+        label=uniform((s.label for s in summaries), "mixed"),
+        n_runs=sum(s.n_runs for s in summaries),
+    )
+    for s in summaries:
+        out.conflicts.merge(s.conflicts)
+        for name in COUNTER_FIELDS:
+            setattr(out, name, getattr(out, name) + getattr(s, name))
+        out.execution_cycles += s.execution_cycles
+        out.violations += s.violations
+        out.worker_retries += s.worker_retries
+        for static_id, n in s.retries_by_static.items():
+            out.retries_by_static[static_id] = (
+                out.retries_by_static.get(static_id, 0) + n
+            )
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class MetricStats:
+    """Mean ± sample stdev of one metric over independent runs."""
+
+    mean: float
+    stdev: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def format(self, precision: int = 2) -> str:
+        return f"{self.mean:.{precision}f} ± {self.stdev:.{precision}f}"
+
+
+def aggregate_metrics(runs: Iterable) -> dict[str, MetricStats]:
+    """Per-metric mean ± stdev over runs (summaries or collectors).
+
+    Every numeric key of ``summary()`` is aggregated; sample standard
+    deviation (0.0 for a single run).  Used by the ``--seeds N`` fan-out
+    to report confidence alongside point estimates.
+    """
+    dicts = [r.summary() for r in runs]
+    if not dicts:
+        return {}
+    out: dict[str, MetricStats] = {}
+    for key in dicts[0]:
+        values = [float(d[key]) for d in dicts]
+        out[key] = MetricStats(
+            mean=statistics.fmean(values),
+            stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+            n=len(values),
+            minimum=min(values),
+            maximum=max(values),
+        )
+    return out

@@ -15,7 +15,14 @@ import pytest
 
 from repro.config import DetectionScheme, default_system
 from repro.sim import parallel as par
-from repro.sim.parallel import RunSpec, compiled_scripts, resolve_jobs, run_many
+from repro.sim.parallel import (
+    RunSpec,
+    compiled_scripts,
+    resolve_jobs,
+    resolve_transfer,
+    run_many,
+)
+from repro.telemetry.summary import RunSummary
 from repro.workloads.kmeans import KmeansWorkload
 from repro.workloads.registry import get_workload
 
@@ -139,10 +146,50 @@ class TestRunMany:
         assert res.violations > 0
 
     def test_detail_off_matches_detailed_aggregates(self):
-        full = spec_for("genome", DetectionScheme.SUBBLOCK)
+        full = spec_for("genome", DetectionScheme.SUBBLOCK, transfer="full")
         lean = spec_for("genome", DetectionScheme.SUBBLOCK,
                         record_detail=False)
         full_res, lean_res = run_many([full, lean], jobs=1)
+        assert isinstance(lean_res.stats, RunSummary)
         assert lean_res.stats.summary() == full_res.stats.summary()
         assert not lean_res.stats.txn_start_times
         assert full_res.stats.txn_start_times
+
+
+class TestTransferModes:
+    def test_auto_ships_summary_without_events(self):
+        spec = spec_for("kmeans", DetectionScheme.SUBBLOCK)
+        assert resolve_transfer(spec, None) == "summary"
+        (res,) = run_many([spec], jobs=1)
+        assert isinstance(res.stats, RunSummary)
+        assert res.stats.workload == "kmeans"
+        assert res.stats.seed == 1
+
+    def test_auto_keeps_full_for_event_recorders(self):
+        spec = spec_for("kmeans", DetectionScheme.SUBBLOCK, record_events=True)
+        assert resolve_transfer(spec, None) == "full"
+        (res,) = run_many([spec], jobs=1)
+        assert not isinstance(res.stats, RunSummary)
+        assert res.stats.conflict_events
+
+    def test_summary_override_never_drops_events(self):
+        spec = spec_for("kmeans", DetectionScheme.SUBBLOCK, record_events=True)
+        assert resolve_transfer(spec, "summary") == "full"
+
+    def test_batch_override_beats_spec_field(self):
+        spec = spec_for("kmeans", DetectionScheme.SUBBLOCK, transfer="full")
+        assert resolve_transfer(spec, None) == "full"
+        assert resolve_transfer(spec, "summary") == "summary"
+
+    def test_invalid_mode_rejected(self):
+        from repro.errors import SimulationError
+
+        spec = spec_for("kmeans", DetectionScheme.SUBBLOCK)
+        with pytest.raises(SimulationError):
+            resolve_transfer(spec, "bogus")
+
+    def test_full_override_matches_summary_counters(self):
+        specs = [spec_for("genome", DetectionScheme.ASF_BASELINE)]
+        (full,) = run_many(specs, jobs=1, transfer="full")
+        (lean,) = run_many(specs, jobs=1, transfer="summary")
+        assert lean.stats.summary() == full.stats.summary()

@@ -1,0 +1,115 @@
+"""RunSummary transfer objects: snapshot fidelity, pickling cost,
+merging and multi-seed metric aggregation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.sim.runner import run_workload
+from repro.telemetry.sinks import COUNTER_FIELDS
+from repro.telemetry.summary import (
+    MetricStats,
+    RunSummary,
+    aggregate_metrics,
+    merge_summaries,
+)
+from repro.workloads.kmeans import KmeansWorkload
+
+TXNS = 12
+
+
+def run(seed: int = 1, scheme=DetectionScheme.SUBBLOCK):
+    return run_workload(
+        KmeansWorkload(txns_per_core=TXNS),
+        default_system(scheme, 4),
+        seed=seed,
+        check_atomicity=False,
+    )
+
+
+class TestFromSink:
+    def test_snapshot_matches_collector_bit_for_bit(self):
+        res = run()
+        summ = RunSummary.from_sink(
+            res.stats, workload=res.workload, scheme=res.scheme, seed=res.seed
+        )
+        assert summ.summary() == res.stats.summary()
+        for name in COUNTER_FIELDS:
+            assert getattr(summ, name) == getattr(res.stats, name)
+        assert summ.per_core_cycles == res.stats.per_core_cycles
+        assert dict(res.stats.retries_by_static) == summ.retries_by_static
+
+    def test_snapshot_is_independent_of_source(self):
+        res = run()
+        summ = RunSummary.from_sink(res.stats)
+        res.stats.conflicts.true_raw += 100
+        res.stats.per_core_cycles.append(-1)
+        assert summ.conflicts.true_raw != res.stats.conflicts.true_raw
+        assert summ.per_core_cycles != res.stats.per_core_cycles
+
+    def test_pickles_much_smaller_than_collector(self):
+        res = run()
+        summ = RunSummary.from_sink(res.stats)
+        assert len(pickle.dumps(summ)) < len(pickle.dumps(res.stats))
+        clone = pickle.loads(pickle.dumps(summ))
+        assert clone.summary() == summ.summary()
+
+    def test_compat_shims(self):
+        summ = RunSummary.from_sink(run().stats)
+        assert summ.conflict_events == ()
+        assert summ.txn_start_times == ()
+        assert not summ.record_detail and not summ.record_events
+
+
+class TestMerge:
+    def test_merge_sums_counters(self):
+        a = RunSummary.from_sink(run(seed=1).stats, workload="kmeans",
+                                 scheme="subblock", seed=1)
+        b = RunSummary.from_sink(run(seed=2).stats, workload="kmeans",
+                                 scheme="subblock", seed=2)
+        merged = merge_summaries([a, b])
+        for name in COUNTER_FIELDS:
+            assert getattr(merged, name) == getattr(a, name) + getattr(b, name)
+        assert merged.conflicts.total == a.conflicts.total + b.conflicts.total
+        assert merged.execution_cycles == a.execution_cycles + b.execution_cycles
+        assert merged.n_runs == 2
+        assert merged.workload == "kmeans"
+        assert merged.scheme == "subblock"
+        assert merged.seed == -1  # mixed seeds
+        assert merged.per_core_cycles == []
+
+    def test_merge_unions_retry_histogram(self):
+        a = RunSummary(retries_by_static={1: 2, 2: 1})
+        b = RunSummary(retries_by_static={2: 3, 7: 1})
+        merged = merge_summaries([a, b])
+        assert merged.retries_by_static == {1: 2, 2: 4, 7: 1}
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_summaries([])
+
+
+class TestAggregateMetrics:
+    def test_mean_and_stdev_over_seeds(self):
+        runs = [RunSummary.from_sink(run(seed=s).stats) for s in (1, 2, 3)]
+        metrics = aggregate_metrics(runs)
+        cycles = [r.execution_cycles for r in runs]
+        m = metrics["execution_cycles"]
+        assert m.n == 3
+        assert m.mean == pytest.approx(sum(cycles) / 3)
+        assert m.minimum == min(cycles) and m.maximum == max(cycles)
+
+    def test_single_run_has_zero_stdev(self):
+        (m,) = [aggregate_metrics([RunSummary.from_sink(run().stats)])]
+        assert m["txn_commits"].stdev == 0.0
+
+    def test_empty_iterable(self):
+        assert aggregate_metrics([]) == {}
+
+    def test_format(self):
+        s = MetricStats(mean=1.5, stdev=0.25, n=3, minimum=1.0, maximum=2.0)
+        assert s.format() == "1.50 ± 0.25"
+        assert s.format(precision=0) == "2 ± 0"
