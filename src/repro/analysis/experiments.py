@@ -8,21 +8,27 @@ benchmark harness shares one suite per session via a fixture so the ten
 figure benches do not re-simulate.
 
 The suite is benchmarks × schemes independent simulations, so it fans out
-through :func:`repro.sim.parallel.run_many` — ``jobs>1`` runs them
-concurrently with bit-identical results, and the registry-name specs let
-each pool worker compile a benchmark once and reuse it for all three
-schemes.
+through the streaming :func:`repro.sim.parallel.run_many` path —
+``jobs>1`` runs them concurrently with bit-identical results, and the
+registry-name specs let each pool worker compile a benchmark once and
+reuse it for all three schemes.  ``store=`` checkpoints completions to a
+:class:`~repro.store.ResultsStore` (interrupted suites resume);
+``on_result=`` fires per completion for live progress.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.config import DetectionScheme, SystemConfig, default_system
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import RunResult
 from repro.telemetry.summary import MetricStats, aggregate_metrics
 from repro.workloads.registry import BENCHMARK_NAMES
+
+if TYPE_CHECKING:
+    from repro.store import ResultsStore
 
 __all__ = [
     "BenchResult",
@@ -123,6 +129,8 @@ def run_suite(
     check_atomicity: bool = False,
     record_events: bool = True,
     jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> SuiteResults:
     """Run every benchmark under baseline/sub-block/perfect.
 
@@ -131,7 +139,10 @@ def run_suite(
     the baseline's conflict records for the open-loop Figure 5/8 analysis.
     ``jobs>1`` distributes the benchmarks × schemes batch over a process
     pool; every run is independently seeded so the results are identical
-    to a serial suite.
+    to a serial suite.  ``store`` checkpoints the summary-shaped runs
+    (the event-recording baselines re-run on resume — their event
+    streams cannot round-trip through JSON); ``on_result`` fires as each
+    run completes.
     """
     base_cfg = config if config is not None else default_system()
     suite = SuiteResults(txns_per_core=txns_per_core, seed=seed)
@@ -157,7 +168,7 @@ def run_suite(
         for name in benchmarks
         for scheme in _SUITE_SCHEMES
     ]
-    results = run_many(specs, jobs=jobs)
+    results = run_many(specs, jobs=jobs, store=store, on_result=on_result)
     for i, name in enumerate(benchmarks):
         runs: dict[DetectionScheme, RunResult] = {
             scheme: results[i * len(_SUITE_SCHEMES) + j]
@@ -199,12 +210,16 @@ def run_seed_sweep(
     config: SystemConfig | None = None,
     schemes: tuple[DetectionScheme, ...] = _SUITE_SCHEMES,
     jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> SeedSweepResults:
     """Repeat benchmarks × schemes over several seeds.
 
     Every run ships back as a compact summary (no per-event detail), so
     even a wide sweep is cheap to fan out over a pool; the per-metric
     spread comes from :func:`repro.telemetry.aggregate_metrics`.
+    ``store`` checkpoints every completed (bench, scheme, seed) run, so
+    an interrupted sweep resumes with only the missing cells.
     """
     if not seeds:
         raise ValueError("run_seed_sweep needs at least one seed")
@@ -221,7 +236,9 @@ def run_seed_sweep(
         for scheme in schemes
         for seed in seeds
     ]
-    results = run_many(specs, jobs=jobs, transfer="summary")
+    results = run_many(
+        specs, jobs=jobs, transfer="summary", store=store, on_result=on_result
+    )
     sweep = SeedSweepResults(
         txns_per_core=txns_per_core,
         seeds=tuple(seeds),

@@ -5,25 +5,46 @@ single run's stats) and returns plain data — rows for bar charts, series
 for line plots — that :mod:`repro.analysis.report` renders and the
 benchmark harness prints.  Keeping computation separate from rendering is
 what the tests assert against.
+
+The ``*_stats`` variants take a multi-seed
+:class:`~repro.analysis.experiments.SeedSweepResults` instead of a single
+suite and return :class:`~repro.telemetry.summary.MetricStats` cells
+(mean ± stdev error bars).  Derived metrics (reductions, speedups) are
+computed per seed on seed-paired runs *before* aggregating, so the
+spread is the real seed-to-seed spread of the ratio, not a ratio of
+means.
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments import FOCUS_BENCHMARKS, SuiteResults
+from typing import Callable
+
+from repro.analysis.experiments import (
+    FOCUS_BENCHMARKS,
+    SeedSweepResults,
+    SuiteResults,
+)
 from repro.analysis.traceanalysis import reduction_by_granularity
+from repro.config import DetectionScheme
+from repro.sim.runner import RunResult
 from repro.sim.stats import StatsCollector
+from repro.telemetry.summary import MetricStats, stats_of_values
 
 __all__ = [
     "abort_breakdown",
     "compute_all_figures",
     "fig1_false_rates",
+    "fig1_false_rates_stats",
     "fig2_breakdown",
     "fig3_time_series",
     "fig4_line_histogram",
     "fig5_offset_histogram",
     "fig8_sensitivity",
     "fig9_overall_reduction",
+    "fig9_overall_reduction_stats",
     "fig10_exec_improvement",
+    "fig10_exec_improvement_stats",
+    "commit_rate_stats",
 ]
 
 GRANULARITIES = (2, 4, 8, 16)
@@ -196,6 +217,102 @@ def fig10_exec_improvement(suite: SuiteResults) -> list[tuple[str, float, float]
             sum(r[2] for r in rows) / n if n else 0.0,
         )
     )
+    return rows
+
+
+def _require_schemes(sweep: SeedSweepResults, *schemes: DetectionScheme) -> None:
+    missing = [s.value for s in schemes if s not in sweep.schemes]
+    if missing:
+        raise ValueError(
+            f"seed sweep is missing scheme(s) {missing}; "
+            "re-run run_seed_sweep with them included"
+        )
+
+
+def fig1_false_rates_stats(
+    sweep: SeedSweepResults,
+) -> list[tuple[str, MetricStats]]:
+    """Figure 1 with error bars: baseline false rate, mean ± stdev over seeds.
+
+    The "average" row aggregates the per-seed cross-benchmark means, so
+    its spread is the seed-to-seed spread of the figure's average bar.
+    """
+    _require_schemes(sweep, DetectionScheme.ASF_BASELINE)
+    n_benches = len(sweep.benchmarks)
+    per_seed_means = [0.0] * len(sweep.seeds)
+    rows = []
+    for name in sweep.benchmarks:
+        runs = sweep.runs[(name, DetectionScheme.ASF_BASELINE.value)]
+        vals = [r.false_rate for r in runs]
+        for k, v in enumerate(vals):
+            per_seed_means[k] += v / n_benches
+        rows.append((name, stats_of_values(vals)))
+    rows.append(("average", stats_of_values(per_seed_means)))
+    return rows
+
+
+def _derived_stats(
+    sweep: SeedSweepResults,
+    derive: Callable[[RunResult, RunResult], float],
+) -> list[tuple[str, MetricStats, MetricStats]]:
+    """Seed-paired (sub-block vs baseline, perfect vs baseline) derivations."""
+    _require_schemes(
+        sweep,
+        DetectionScheme.ASF_BASELINE,
+        DetectionScheme.SUBBLOCK,
+        DetectionScheme.PERFECT,
+    )
+    n_benches = len(sweep.benchmarks)
+    n_seeds = len(sweep.seeds)
+    sub_means = [0.0] * n_seeds
+    perf_means = [0.0] * n_seeds
+    rows = []
+    for name in sweep.benchmarks:
+        base = sweep.runs[(name, DetectionScheme.ASF_BASELINE.value)]
+        sub = sweep.runs[(name, DetectionScheme.SUBBLOCK.value)]
+        perf = sweep.runs[(name, DetectionScheme.PERFECT.value)]
+        sub_vals = [derive(s, b) for s, b in zip(sub, base)]
+        perf_vals = [derive(p, b) for p, b in zip(perf, base)]
+        for k in range(n_seeds):
+            sub_means[k] += sub_vals[k] / n_benches
+            perf_means[k] += perf_vals[k] / n_benches
+        rows.append((name, stats_of_values(sub_vals), stats_of_values(perf_vals)))
+    rows.append(
+        ("average", stats_of_values(sub_means), stats_of_values(perf_means))
+    )
+    return rows
+
+
+def fig9_overall_reduction_stats(
+    sweep: SeedSweepResults,
+) -> list[tuple[str, MetricStats, MetricStats]]:
+    """Figure 9 with error bars: overall conflict reduction over seeds."""
+    return _derived_stats(
+        sweep, lambda run, base: run.conflict_reduction_over(base)
+    )
+
+
+def fig10_exec_improvement_stats(
+    sweep: SeedSweepResults,
+) -> list[tuple[str, MetricStats, MetricStats]]:
+    """Figure 10 with error bars: execution-time improvement over seeds."""
+    return _derived_stats(sweep, lambda run, base: run.speedup_over(base))
+
+
+def commit_rate_stats(
+    sweep: SeedSweepResults,
+) -> list[tuple[str, str, MetricStats]]:
+    """Commit rate (commits / attempts) per bench × scheme, over seeds."""
+    rows = []
+    for name in sweep.benchmarks:
+        for scheme in sweep.schemes:
+            vals = []
+            for run in sweep.runs[(name, scheme.value)]:
+                attempts = run.stats.txn_attempts
+                vals.append(
+                    run.stats.txn_commits / attempts if attempts else 0.0
+                )
+            rows.append((name, scheme.value, stats_of_values(vals)))
     return rows
 
 

@@ -16,8 +16,13 @@ from repro.workloads.registry import workload_table
 
 __all__ = [
     "render_all",
+    "render_seed_figures",
     "render_seed_sweep",
+    "render_commit_rates_stats",
     "render_fig1",
+    "render_fig1_stats",
+    "render_fig9_stats",
+    "render_fig10_stats",
     "render_fig2",
     "render_fig3",
     "render_fig4",
@@ -168,6 +173,85 @@ def render_abort_breakdown(suite: SuiteResults) -> str:
         rows,
         title="Supplementary: baseline aborts by cause",
     )
+
+
+def _pm_percent(stats, precision: int = 1) -> str:
+    """``12.3% ± 1.2%`` — the textual form of an error bar."""
+    return (
+        f"{stats.mean * 100:.{precision}f}% ± "
+        f"{stats.stdev * 100:.{precision}f}%"
+    )
+
+
+def render_fig1_stats(sweep: SeedSweepResults) -> str:
+    rows = [
+        (n, _pm_percent(s, 2)) for n, s in figures.fig1_false_rates_stats(sweep)
+    ]
+    return format_table(
+        ("benchmark", "false conflict rate"),
+        rows,
+        title=(
+            "Figure 1: False conflict rate (baseline ASF), "
+            f"mean ± stdev over {len(sweep.seeds)} seeds"
+        ),
+    )
+
+
+def render_fig9_stats(sweep: SeedSweepResults) -> str:
+    rows = [
+        (n, _pm_percent(sub), _pm_percent(perf))
+        for n, sub, perf in figures.fig9_overall_reduction_stats(sweep)
+    ]
+    return format_table(
+        ("benchmark", "sub-block (N=4)", "perfect"),
+        rows,
+        title=(
+            "Figure 9: Percentage of overall conflict reduction, "
+            f"mean ± stdev over {len(sweep.seeds)} seeds"
+        ),
+    )
+
+
+def render_fig10_stats(sweep: SeedSweepResults) -> str:
+    rows = [
+        (n, _pm_percent(sub), _pm_percent(perf))
+        for n, sub, perf in figures.fig10_exec_improvement_stats(sweep)
+    ]
+    return format_table(
+        ("benchmark", "sub-block (N=4)", "perfect"),
+        rows,
+        title=(
+            "Figure 10: Improvement of overall execution time, "
+            f"mean ± stdev over {len(sweep.seeds)} seeds"
+        ),
+    )
+
+
+def render_commit_rates_stats(sweep: SeedSweepResults) -> str:
+    rows = [
+        (n, scheme, _pm_percent(s))
+        for n, scheme, s in figures.commit_rate_stats(sweep)
+    ]
+    return format_table(
+        ("benchmark", "system", "commit rate"),
+        rows,
+        title=(
+            "Commit rate per system, "
+            f"mean ± stdev over {len(sweep.seeds)} seeds"
+        ),
+    )
+
+
+def render_seed_figures(sweep: SeedSweepResults) -> str:
+    """The error-bar editions of the headline figures, in order."""
+    parts = [
+        render_fig1_stats(sweep),
+        render_fig9_stats(sweep),
+        render_fig10_stats(sweep),
+        render_commit_rates_stats(sweep),
+        render_seed_sweep(sweep),
+    ]
+    return ("\n\n" + "=" * 72 + "\n\n").join(parts)
 
 
 def render_seed_sweep(sweep: SeedSweepResults) -> str:

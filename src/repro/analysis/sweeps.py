@@ -17,20 +17,27 @@ with everything else held fixed:
   retry contention manager.
 
 Every sweep is a batch of independent simulations, so each accepts
-``jobs`` and executes through :func:`repro.sim.parallel.run_many`: points
-run concurrently when asked, results always come back in axis order, and
-the compiled workload is reused across every point that shares
-``(n_cores, seed)`` instead of being rebuilt per point.
+``jobs`` and executes through the streaming
+:func:`repro.sim.parallel.run_many` path: points run concurrently when
+asked, results always come back in axis order, and the compiled workload
+is reused across every point that shares ``(n_cores, seed)`` instead of
+being rebuilt per point.  Each sweep also accepts ``store=`` (a
+:class:`~repro.store.ResultsStore`) to checkpoint completed points and
+skip them on resume, and ``on_result=`` for live progress.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.config import ConflictResolution, DetectionScheme, SystemConfig, default_system
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import RunResult
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:
+    from repro.store import ResultsStore
 
 __all__ = [
     "AblationPoint",
@@ -63,6 +70,8 @@ def _run_points(
     jobs: int = 1,
     check: bool = False,
     tolerate_violations: bool = False,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> list[AblationPoint]:
     """Run one spec per (label, config) point, preserving axis order."""
     specs = [
@@ -76,7 +85,7 @@ def _run_points(
         )
         for label, cfg in points
     ]
-    results = run_many(specs, jobs=jobs)
+    results = run_many(specs, jobs=jobs, store=store, on_result=on_result)
     return [
         AblationPoint(label=spec.label, result=res, violations=res.violations)
         for spec, res in zip(specs, results)
@@ -89,13 +98,17 @@ def sweep_subblocks(
     seed: int = 1,
     config: SystemConfig | None = None,
     jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> list[AblationPoint]:
     """Closed-loop sub-block sweep (N=1 is the baseline by construction)."""
     base = config if config is not None else default_system()
     points = [
         (f"N={n}", base.with_scheme(DetectionScheme.SUBBLOCK, n)) for n in counts
     ]
-    return _run_points(workload, points, seed, jobs=jobs)
+    return _run_points(
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result
+    )
 
 
 def sweep_cores(
@@ -104,6 +117,8 @@ def sweep_cores(
     seed: int = 1,
     scheme: DetectionScheme = DetectionScheme.ASF_BASELINE,
     jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> list[AblationPoint]:
     """How false-conflict pressure scales with the number of sharers."""
     points = [
@@ -113,11 +128,18 @@ def sweep_cores(
         )
         for n_cores in core_counts
     ]
-    return _run_points(workload, points, seed, jobs=jobs)
+    return _run_points(
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result
+    )
 
 
 def ablation_forced_waw(
-    workload: Workload, seed: int = 1, n_subblocks: int = 4, jobs: int = 1
+    workload: Workload,
+    seed: int = 1,
+    n_subblocks: int = 4,
+    jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> tuple[AblationPoint, AblationPoint]:
     """Sub-blocking with and without the forced-WAW abort rule.
 
@@ -132,12 +154,19 @@ def ablation_forced_waw(
         [("forced-WAW on", base), ("forced-WAW off", relaxed_cfg)],
         seed,
         jobs=jobs,
+        store=store,
+        on_result=on_result,
     )
     return with_rule, without_rule
 
 
 def ablation_dirty_state(
-    workload: Workload, seed: int = 1, n_subblocks: int = 4, jobs: int = 1
+    workload: Workload,
+    seed: int = 1,
+    n_subblocks: int = 4,
+    jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> tuple[AblationPoint, AblationPoint]:
     """Dirty handling on vs off; the off variant also reports how many
     atomicity violations the checker found (it is *incorrect* hardware,
@@ -160,7 +189,7 @@ def ablation_dirty_state(
             tolerate_violations=True,
         ),
     ]
-    on_res, off_res = run_many(specs, jobs=jobs)
+    on_res, off_res = run_many(specs, jobs=jobs, store=store, on_result=on_result)
     on = AblationPoint(label=specs[0].label, result=on_res)
     off = AblationPoint(
         label=specs[1].label, result=off_res, violations=off_res.violations
@@ -173,6 +202,8 @@ def sweep_resolution(
     seed: int = 1,
     scheme: DetectionScheme = DetectionScheme.SUBBLOCK,
     jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> list[AblationPoint]:
     """Requester-wins (ASF) vs older-wins conflict resolution.
 
@@ -184,7 +215,10 @@ def sweep_resolution(
         cfg = default_system(scheme, 4)
         cfg = replace(cfg, htm=replace(cfg.htm, resolution=policy))
         points.append((policy.value, cfg))
-    return _run_points(workload, points, seed, jobs=jobs, check=True)
+    return _run_points(
+        workload, points, seed, jobs=jobs, check=True, store=store,
+        on_result=on_result,
+    )
 
 
 def sweep_backoff(
@@ -193,6 +227,8 @@ def sweep_backoff(
     seed: int = 1,
     scheme: DetectionScheme = DetectionScheme.SUBBLOCK,
     jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
 ) -> list[AblationPoint]:
     """Backoff-base sensitivity (the paper's software-library knob)."""
     points = []
@@ -207,4 +243,6 @@ def sweep_backoff(
             ),
         )
         points.append((f"base={base_cycles}", cfg))
-    return _run_points(workload, points, seed, jobs=jobs)
+    return _run_points(
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result
+    )

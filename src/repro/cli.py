@@ -13,7 +13,14 @@ Subcommands::
     repro-asf trace kmeans events.jsonl  # export a JSONL event trace
 
 ``--seeds N`` on ``run``/``suite`` repeats the experiment over seeds
-1..N and reports every metric as mean ± sample stdev.
+1..N and reports every metric as mean ± sample stdev (``suite`` then
+renders the error-bar editions of the headline figures).
+
+``--checkpoint DIR`` on ``run``/``suite``/``sweep`` persists every
+completed run to a :class:`~repro.store.ResultsStore` in DIR as it
+finishes; re-invoking with ``--resume`` skips the runs already stored,
+so an interrupted sweep picks up where it died.  A live ``[done/total]``
+progress line (stderr, TTY only) is fed by the streaming executor.
 
 The CLI is a thin veneer over the library; anything it prints is computed
 by :mod:`repro.analysis`.
@@ -25,7 +32,7 @@ import argparse
 import sys
 
 from repro.analysis.experiments import run_seed_sweep, run_suite
-from repro.analysis.report import render_all, render_seed_sweep
+from repro.analysis.report import render_all, render_seed_figures
 from repro.analysis.sweeps import (
     ablation_dirty_state,
     ablation_forced_waw,
@@ -47,6 +54,48 @@ ALL_SCHEMES = (
     DetectionScheme.PERFECT,
     DetectionScheme.DECOUPLED,
 )
+
+
+class _ProgressLine:
+    """``\\r``-rewriting ``[done/total] label`` line on stderr.
+
+    Fed as the ``on_result`` callback of the streaming executor, so it
+    ticks the moment each run completes (completion order).  Inactive
+    when stderr is not a TTY — piped output stays clean.
+    """
+
+    def __init__(self, total: int, enabled: bool | None = None) -> None:
+        self.total = total
+        self.done = 0
+        self.enabled = sys.stderr.isatty() if enabled is None else enabled
+
+    def __call__(self, index: int, result) -> None:
+        self.done += 1
+        if not self.enabled:
+            return
+        label = f"{result.workload}:{result.scheme}"
+        sys.stderr.write(f"\r[{self.done}/{self.total}] {label:<40.40}")
+        sys.stderr.flush()
+
+    def finish(self) -> None:
+        """Blank the line so real output starts at column 0."""
+        if self.enabled and self.done:
+            sys.stderr.write("\r" + " " * 52 + "\r")
+            sys.stderr.flush()
+
+
+def _open_store(args: argparse.Namespace):
+    """A ResultsStore for ``--checkpoint DIR``, or None.
+
+    Without ``--resume`` the directory is wiped first: the flags are
+    "record this sweep" vs "continue that one", never a silent mix.
+    """
+    directory = getattr(args, "checkpoint", None)
+    if not directory:
+        return None
+    from repro.store import ResultsStore
+
+    return ResultsStore(directory, fresh=not args.resume)
 
 
 def _result_rows(results, base):
@@ -97,12 +146,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         DetectionScheme.SUBBLOCK,
         DetectionScheme.PERFECT,
     )
+    store = _open_store(args)
     if args.seeds > 1:
         seeds = _seed_list(args)
-        by_scheme = compare_systems_seeds(
-            workload, seeds, n_subblocks=args.subblocks,
-            check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
-        )
+        progress = _ProgressLine(len(schemes) * len(seeds))
+        try:
+            by_scheme = compare_systems_seeds(
+                workload, seeds, n_subblocks=args.subblocks,
+                check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
+                store=store, on_result=progress,
+            )
+        finally:
+            progress.finish()
+            if store is not None:
+                store.close()
         rows = []
         for name, runs in by_scheme.items():
             m = aggregate_metrics(r.stats for r in runs)
@@ -128,10 +185,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         )
         return 0
-    results = compare_systems(
-        workload, seed=args.seed, n_subblocks=args.subblocks,
-        check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
-    )
+    progress = _ProgressLine(len(schemes))
+    try:
+        results = compare_systems(
+            workload, seed=args.seed, n_subblocks=args.subblocks,
+            check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
+            store=store, on_result=progress,
+        )
+    finally:
+        progress.finish()
+        if store is not None:
+            store.close()
     base = results["asf"]
     print(
         format_table(
@@ -144,14 +208,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    suite = run_suite(txns_per_core=args.txns, seed=args.seed, jobs=args.jobs)
-    out = render_all(suite)
-    if args.seeds > 1:
-        sweep = run_seed_sweep(
-            txns_per_core=args.txns, seeds=_seed_list(args), jobs=args.jobs,
+    store = _open_store(args)
+    try:
+        n_suite = len(BENCHMARK_NAMES) * 3
+        progress = _ProgressLine(n_suite)
+        suite = run_suite(
+            txns_per_core=args.txns, seed=args.seed, jobs=args.jobs,
+            store=store, on_result=progress,
         )
-        out += "\n\n" + "=" * 72 + "\n\n" + render_seed_sweep(sweep)
-    print(out)
+        progress.finish()
+        out = render_all(suite)
+        if args.seeds > 1:
+            seeds = _seed_list(args)
+            progress = _ProgressLine(n_suite * len(seeds))
+            sweep = run_seed_sweep(
+                txns_per_core=args.txns, seeds=seeds, jobs=args.jobs,
+                store=store, on_result=progress,
+            )
+            progress.finish()
+            out += "\n\n" + "=" * 72 + "\n\n" + render_seed_figures(sweep)
+        print(out)
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -185,7 +264,17 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
     counts = tuple(int(c) for c in args.counts.split(","))
-    points = sweep_subblocks(workload, counts=counts, seed=args.seed, jobs=args.jobs)
+    store = _open_store(args)
+    progress = _ProgressLine(len(counts))
+    try:
+        points = sweep_subblocks(
+            workload, counts=counts, seed=args.seed, jobs=args.jobs,
+            store=store, on_result=progress,
+        )
+    finally:
+        progress.finish()
+        if store is not None:
+            store.close()
     baseline = points[0]
     rows = [
         (
@@ -279,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list the Table III benchmarks")
     p_list.set_defaults(func=_cmd_list)
 
-    def common(p, bench=True, seeds=False):
+    def common(p, bench=True, seeds=False, checkpoint=False):
         if bench:
             p.add_argument("benchmark", choices=BENCHMARK_NAMES)
         p.add_argument("--txns", type=int, default=200)
@@ -295,9 +384,20 @@ def build_parser() -> argparse.ArgumentParser:
                 help="repeat over N seeds (starting at --seed) and report "
                 "each metric as mean ± stdev",
             )
+        if checkpoint:
+            p.add_argument(
+                "--checkpoint", metavar="DIR", default=None,
+                help="persist each completed run to a results store in DIR "
+                "as it finishes",
+            )
+            p.add_argument(
+                "--resume", action="store_true",
+                help="with --checkpoint: keep DIR's prior contents and skip "
+                "runs already stored (default: start DIR fresh)",
+            )
 
     p_run = sub.add_parser("run", help="run one benchmark on all systems")
-    common(p_run, seeds=True)
+    common(p_run, seeds=True, checkpoint=True)
     p_run.add_argument("--subblocks", type=int, default=4)
     p_run.add_argument("--check", action="store_true",
                        help="enable the atomicity checker")
@@ -306,7 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="regenerate every table and figure")
-    common(p_suite, bench=False, seeds=True)
+    common(p_suite, bench=False, seeds=True, checkpoint=True)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_trace = sub.add_parser(
@@ -326,7 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ovh.set_defaults(func=_cmd_overhead)
 
     p_sweep = sub.add_parser("sweep", help="closed-loop sub-block sweep")
-    common(p_sweep)
+    common(p_sweep, checkpoint=True)
     p_sweep.add_argument("--counts", default="1,2,4,8,16")
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -25,7 +25,6 @@ orchestration (probes, fills, aborts) is in :class:`repro.htm.machine.HtmMachine
 
 from __future__ import annotations
 
-from repro.config import SystemConfig
 from repro.errors import ConfigError
 from repro.htm.detector import ConflictDetector, ProbeCheck
 from repro.htm.specstate import SpecLineState

@@ -14,7 +14,7 @@ a capacity abort (ASF is a best-effort HTM).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError, ProtocolError
 from repro.mem.moesi import MoesiState

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import SystemConfig
 from repro.errors import SimulationError

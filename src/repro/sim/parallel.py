@@ -22,20 +22,28 @@ Three properties are load-bearing:
   ``transfer`` modes), whose aggregate counters are bit-for-bit equal to
   the full collector's; only event-recording specs pay full pickling.
 
-``run_many`` additionally survives mid-batch worker deaths and
-per-spec timeouts (bounded pool retries, then an in-process serial
-fallback), stamping the affected results with their provenance.
+The execution core is :func:`iter_many` — a *streaming* generator that
+yields ``(index, result)`` pairs as workers complete, holding at most a
+bounded window of in-flight work in the parent (``jobs ×``
+:data:`STREAM_BACKLOG`), so a 10k-spec sweep feeds an accumulator
+without ever materialising 10k results.  :func:`run_many` is a thin
+collector over it that restores spec order.  Both survive mid-batch
+worker deaths and per-spec timeouts (bounded pool retries, then an
+in-process serial fallback), stamping the affected results with their
+provenance; both accept a :class:`~repro.store.ResultsStore` to
+checkpoint every completion and to skip specs a previous (interrupted)
+sweep already finished.
 """
 
 from __future__ import annotations
 
-import math
 import os
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, wait
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.config import SystemConfig
 from repro.errors import SimulationError
@@ -44,11 +52,16 @@ from repro.sim.runner import RunResult
 from repro.telemetry.summary import RunSummary
 from repro.workloads.base import CoreScript, Workload
 
+if TYPE_CHECKING:
+    from repro.store import ResultsStore
+
 __all__ = [
     "RunSpec",
+    "STREAM_BACKLOG",
     "TRANSFER_MODES",
     "compiled_scripts",
     "execute_spec_transfer",
+    "iter_many",
     "resolve_jobs",
     "resolve_transfer",
     "run_many",
@@ -258,65 +271,223 @@ def _mark(res: RunResult, worker_retries: int = 0, serial_fallback: bool = False
     return res
 
 
-def _pool_round(
-    specs: list[RunSpec],
-    modes: list[str],
-    indices: list[int],
-    jobs: int,
-    timeout: float | None,
-    results: list[RunResult | None],
-) -> tuple[list[int], list[int], bool]:
-    """One process-pool pass over ``indices``.
+#: In-flight futures per worker slot.  The window (``jobs ×
+#: STREAM_BACKLOG``) bounds both parent-side retained results and the
+#: submission backlog that keeps workers from idling between specs.
+STREAM_BACKLOG = 2
 
-    Fills ``results`` in place for every spec that completes; returns
-    ``(crashed, timed_out, pool_ok)`` — indices whose worker died
-    (retryable), indices that exceeded the time budget (not retried in a
-    pool; they go straight to serial), and whether the pool could be used
-    at all (False on sandboxed/fork-restricted hosts).
+
+def _record_to_store(store: "ResultsStore | None", spec: RunSpec, res: RunResult) -> None:
+    if store is not None:
+        store.record(spec, res)
+
+
+def iter_many(
+    specs: list[RunSpec] | Iterable[RunSpec],
+    jobs: int = 1,
+    *,
+    transfer: str | None = None,
+    timeout: float | None = None,
+    worker_retries: int = 1,
+    store: "ResultsStore | None" = None,
+    resume: bool = True,
+    stream_stats: dict | None = None,
+) -> Iterator[tuple[int, RunResult]]:
+    """Yield ``(index, result)`` pairs as runs complete, memory-bounded.
+
+    The streaming core of the sweep pipeline: results are handed to the
+    consumer the moment a worker finishes them (completion order, not
+    spec order), and at most ``jobs × STREAM_BACKLOG`` runs are in
+    flight, so parent-side memory is O(jobs) in sweep length.  Each
+    simulation is seeded, so per-run results are bit-identical to the
+    serial reference regardless of scheduling.
+
+    ``store`` checkpoints every summary-shaped completion as it arrives;
+    with ``resume=True`` (default) specs the store already holds are
+    served from it immediately, without re-simulating — an interrupted
+    sweep re-invoked with the same store finishes only the missing work.
+
+    Resilience matches :func:`run_many` (it is the same machinery):
+    worker deaths get up to ``worker_retries`` fresh pools before an
+    in-process serial fallback, per-spec timeouts send stragglers
+    serial, and pool-construction failure degrades the whole batch to
+    serial.  ``stream_stats`` (a dict, optional) receives
+    ``peak_inflight`` / ``served_from_store`` / ``pool_rotations``
+    instrumentation.
     """
-    max_workers = min(jobs, len(indices))
-    crashed: list[int] = []
-    timed_out: list[int] = []
-    # Workers run specs concurrently, so a wall-clock budget for the whole
-    # round is the per-spec timeout times the number of serial waves.
-    budget = (
-        timeout * math.ceil(len(indices) / max_workers)
-        if timeout is not None
-        else None
-    )
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    modes = [resolve_transfer(spec, transfer) for spec in specs]
+    stats = stream_stats if stream_stats is not None else {}
+    stats.setdefault("peak_inflight", 0)
+    stats.setdefault("served_from_store", 0)
+    stats.setdefault("pool_rotations", 0)
+
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        # Only summary-shaped results round-trip through the store; a
+        # "full" spec (event recording) always re-runs.
+        if (
+            store is not None
+            and resume
+            and modes[i] == "summary"
+            and store.has_spec(spec)
+        ):
+            stats["served_from_store"] += 1
+            yield i, store.result_for(spec)
+        else:
+            pending.append(i)
+
+    if jobs == 1 or len(pending) <= 1:
+        for i in pending:
+            res = execute_spec_transfer(specs[i], modes[i])
+            _record_to_store(store, specs[i], res)
+            stats["peak_inflight"] = max(stats["peak_inflight"], 1)
+            yield i, res
+        return
+
+    window = jobs * STREAM_BACKLOG
+    queue: deque[int] = deque(pending)
+    retry_count = {i: 0 for i in pending}
+    inflight: dict = {}  # future -> (index, deadline | None)
+    pool: ProcessPoolExecutor | None = None
+    pool_broken = False
+
+    def run_serial(i: int) -> tuple[int, RunResult]:
+        res = _mark(
+            execute_spec_transfer(specs[i], modes[i]),
+            worker_retries=retry_count[i],
+            serial_fallback=True,
+        )
+        _record_to_store(store, specs[i], res)
+        return i, res
+
+    def rotate_pool() -> None:
+        nonlocal pool
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        stats["pool_rotations"] += 1
+
     try:
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-    except (OSError, PermissionError):
-        return [], [], False
-    try:
-        future_to_index = {}
-        try:
-            for i in indices:
-                future_to_index[pool.submit(execute_spec_transfer, specs[i], modes[i])] = i
-        except (BrokenProcessPool, OSError, PermissionError):
-            # Pool died while feeding it; everything not yet submitted is
-            # retryable alongside whatever the broken futures report below.
-            pass
-        submitted = set(future_to_index.values())
-        crashed.extend(i for i in indices if i not in submitted)
-        pending = set(future_to_index)
-        done, pending = wait(pending, timeout=budget)
-        for fut in pending:
-            fut.cancel()
-            timed_out.append(future_to_index[fut])
-        for fut in done:
-            i = future_to_index[fut]
-            try:
-                results[i] = fut.result()
-            except BrokenProcessPool:
-                crashed.append(i)
-            except (OSError, PermissionError):
-                crashed.append(i)
-        # A cancelled future may still have been running; the shutdown
-        # below abandons it rather than waiting.
+        while queue or inflight:
+            if pool is None and queue:
+                try:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(jobs, len(queue) + len(inflight))
+                    )
+                except (OSError, PermissionError):
+                    # Sandboxed / fork-restricted hosts: degrade to serial
+                    # rather than failing the sweep.
+                    while queue:
+                        yield run_serial(queue.popleft())
+                    break
+
+            # Keep the window full so workers never idle between specs.
+            while pool is not None and queue and len(inflight) < window:
+                i = queue.popleft()
+                deadline = (
+                    # The budget covers pool queueing within the bounded
+                    # backlog, hence the STREAM_BACKLOG factor.
+                    time.monotonic() + timeout * STREAM_BACKLOG
+                    if timeout is not None
+                    else None
+                )
+                try:
+                    fut = pool.submit(execute_spec_transfer, specs[i], modes[i])
+                except (BrokenProcessPool, OSError, PermissionError):
+                    queue.appendleft(i)
+                    pool_broken = True
+                    break
+                inflight[fut] = (i, deadline)
+            stats["peak_inflight"] = max(stats["peak_inflight"], len(inflight))
+
+            if not pool_broken and inflight:
+                now = time.monotonic()
+                wait_for = min(
+                    (dl - now for _, dl in inflight.values() if dl is not None),
+                    default=None,
+                )
+                done, _ = wait(
+                    set(inflight),
+                    timeout=max(wait_for, 0.05) if wait_for is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    i, _dl = inflight.pop(fut)
+                    try:
+                        res = fut.result()
+                    except (BrokenProcessPool, OSError, PermissionError):
+                        queue.appendleft(i)
+                        pool_broken = True
+                        continue
+                    if retry_count[i]:
+                        _mark(res, worker_retries=retry_count[i])
+                    _record_to_store(store, specs[i], res)
+                    yield i, res
+
+            if pool_broken:
+                # A worker died (OOM-kill, segfault): everything still in
+                # flight is lost with the pool — but results that finished
+                # before the break are salvaged, not re-run.  Retry each
+                # casualty in a fresh pool up to ``worker_retries`` times,
+                # then run it serially where nothing can kill it.
+                pool_broken = False
+                casualties: list[int] = []
+                for fut, (i, _dl) in inflight.items():
+                    salvaged = False
+                    if fut.done():
+                        try:
+                            res = fut.result()
+                            salvaged = True
+                        except (BrokenProcessPool, OSError, PermissionError):
+                            pass
+                    if salvaged:
+                        if retry_count[i]:
+                            _mark(res, worker_retries=retry_count[i])
+                        _record_to_store(store, specs[i], res)
+                        yield i, res
+                    else:
+                        casualties.append(i)
+                casualties.extend(queue)
+                queue.clear()
+                inflight.clear()
+                rotate_pool()
+                for i in casualties:
+                    retry_count[i] += 1
+                    if retry_count[i] <= worker_retries:
+                        queue.append(i)
+                    else:
+                        yield run_serial(i)
+                continue
+
+            # Stragglers: a spec past its deadline is re-run serially (it
+            # cannot starve others there).  If its future was already
+            # running, the worker slot is lost until the straggler ends —
+            # rotate the pool to reclaim it, requeueing the innocent
+            # in-flight specs without a retry penalty.
+            if timeout is not None and inflight:
+                now = time.monotonic()
+                expired = [
+                    (fut, i)
+                    for fut, (i, dl) in inflight.items()
+                    if dl is not None and now >= dl
+                ]
+                stuck = False
+                for fut, i in expired:
+                    if not fut.cancel():
+                        stuck = True
+                    inflight.pop(fut)
+                    yield run_serial(i)
+                if stuck:
+                    survivors = [i for i, _dl in inflight.values()]
+                    inflight.clear()
+                    rotate_pool()
+                    for i in survivors:
+                        queue.append(i)
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
-    return crashed, timed_out, True
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_many(
@@ -326,8 +497,15 @@ def run_many(
     transfer: str | None = None,
     timeout: float | None = None,
     worker_retries: int = 1,
+    store: "ResultsStore | None" = None,
+    resume: bool = True,
+    on_result: Callable[[int, RunResult], None] | None = None,
 ) -> list[RunResult]:
     """Execute every spec; results come back in spec order.
+
+    A thin collector over :func:`iter_many` — the streaming generator
+    does all the work (pooling, transfer shaping, resilience, store
+    checkpointing); this function only restores spec order.
 
     ``jobs=1`` runs in-process (no pickling, shared script cache).
     ``jobs>1`` fans out over a process pool; each worker executes whole
@@ -340,59 +518,36 @@ def run_many(
     specs always travel full).  Summaries carry the identical aggregate
     counters — ``stats.summary()`` is bit-for-bit the same either way.
 
+    ``store``/``resume`` checkpoint completions to a
+    :class:`~repro.store.ResultsStore` and skip specs it already holds;
+    ``on_result(index, result)`` fires as each run completes (completion
+    order), feeding progress displays without a second pass.
+
     Resilience: a worker death (OOM-kill, segfault) loses only the specs
     it was running — those are resubmitted to a fresh pool up to
     ``worker_retries`` times and finally re-run serially in-process, so a
     mid-batch crash degrades to a slower batch, not a lost one.
-    ``timeout`` (seconds per spec) bounds each pool round; stragglers are
+    ``timeout`` (seconds per spec) bounds pool residence; stragglers are
     abandoned and re-run serially.  Both paths stamp
     ``worker_retries``/``serial_fallback`` on the affected results.
     Simulation errors (livelock, protocol violations) still propagate —
     resilience covers infrastructure failures, not broken experiments.
     """
-    jobs = resolve_jobs(jobs)
-    modes = [resolve_transfer(spec, transfer) for spec in specs]
-    if jobs == 1 or len(specs) <= 1:
-        return [
-            execute_spec_transfer(spec, mode)
-            for spec, mode in zip(specs, modes)
-        ]
-
+    specs = list(specs)
     results: list[RunResult | None] = [None] * len(specs)
-    pending = list(range(len(specs)))
-    serial: list[int] = []
-    retry_count = [0] * len(specs)
-    rounds = 0
-    while pending:
-        crashed, timed_out, pool_ok = _pool_round(
-            specs, modes, pending, jobs, timeout, results
-        )
-        if not pool_ok:
-            # Sandboxed or fork-restricted environments: degrade to serial
-            # rather than failing the experiment.
-            serial.extend(pending)
-            break
-        # A spec that blew its budget once is not offered a second pool
-        # slot; it runs serially where it cannot starve others.
-        serial.extend(timed_out)
-        for i in crashed:
-            retry_count[i] += 1
-        still_retryable = [i for i in crashed if retry_count[i] <= worker_retries]
-        serial.extend(i for i in crashed if retry_count[i] > worker_retries)
-        pending = still_retryable
-        rounds += 1
-        if rounds > worker_retries + 1:  # pragma: no cover - defensive bound
-            serial.extend(pending)
-            break
-    for i in serial:
-        results[i] = _mark(
-            execute_spec_transfer(specs[i], modes[i]),
-            worker_retries=retry_count[i],
-            serial_fallback=True,
-        )
+    for i, res in iter_many(
+        specs,
+        jobs,
+        transfer=transfer,
+        timeout=timeout,
+        worker_retries=worker_retries,
+        store=store,
+        resume=resume,
+    ):
+        results[i] = res
+        if on_result is not None:
+            on_result(i, res)
     for i, res in enumerate(results):
         if res is None:  # pragma: no cover - defensive
             raise SimulationError(f"spec {i} ({specs[i].label!r}) produced no result")
-        if retry_count[i] and not res.serial_fallback:
-            _mark(res, worker_retries=retry_count[i])
-    return results
+    return results  # type: ignore[return-value]

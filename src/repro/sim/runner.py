@@ -144,6 +144,8 @@ def compare_systems(
     record_detail: bool = True,
     jobs: int = 1,
     transfer: str | None = None,
+    store=None,
+    on_result=None,
 ) -> dict[str, RunResult]:
     """Run identical compiled scripts under several detection schemes.
 
@@ -151,7 +153,8 @@ def compare_systems(
     ``"perfect"``); the workload is compiled once (per process) so every
     system executes the same program.  ``jobs>1`` runs the schemes
     concurrently — results are bit-identical to the serial path.
-    ``transfer`` is forwarded to :func:`~repro.sim.parallel.run_many`.
+    ``transfer``, ``store`` and ``on_result`` are forwarded to
+    :func:`~repro.sim.parallel.run_many`.
     """
     from repro.sim.parallel import RunSpec, run_many
 
@@ -168,7 +171,9 @@ def compare_systems(
         )
         for scheme in schemes
     ]
-    results = run_many(specs, jobs=jobs, transfer=transfer)
+    results = run_many(
+        specs, jobs=jobs, transfer=transfer, store=store, on_result=on_result
+    )
     return {scheme.value: res for scheme, res in zip(schemes, results)}
 
 
@@ -184,6 +189,8 @@ def compare_systems_seeds(
     ),
     check_atomicity: bool = True,
     jobs: int = 1,
+    store=None,
+    on_result=None,
 ) -> dict[str, list[RunResult]]:
     """:func:`compare_systems` fanned out over several seeds.
 
@@ -191,6 +198,7 @@ def compare_systems_seeds(
     use the compact summary transfer (per-run detail is not kept), so the
     batch is cheap to fan out.  Feed each list to
     :func:`repro.telemetry.aggregate_metrics` for mean ± stdev.
+    ``store`` checkpoints each (scheme, seed) cell for resume.
     """
     from repro.sim.parallel import RunSpec, run_many
 
@@ -208,7 +216,9 @@ def compare_systems_seeds(
         for scheme in schemes
         for seed in seeds
     ]
-    results = run_many(specs, jobs=jobs, transfer="summary")
+    results = run_many(
+        specs, jobs=jobs, transfer="summary", store=store, on_result=on_result
+    )
     out: dict[str, list[RunResult]] = {}
     it = iter(results)
     for scheme in schemes:

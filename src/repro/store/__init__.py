@@ -1,0 +1,20 @@
+"""repro.store — checkpoint/resume persistence for sweep results.
+
+The storage layer of the streaming sweep pipeline: every completed
+:class:`~repro.sim.parallel.RunSpec` is identified by a content hash
+(:mod:`repro.store.keys`) and appended as one JSON line to a per-sweep
+:class:`~repro.store.results.ResultsStore`, whose manifest is replaced
+atomically.  ``iter_many``/``run_many`` accept a store and (a) skip
+specs the store already holds, serving their results without
+re-simulating, and (b) persist each fresh completion as soon as it
+arrives — so an interrupted 10k-spec sweep resumes where it died
+instead of starting over.
+
+See ``docs/ARCHITECTURE.md`` ("Streaming sweeps and the results store")
+for the layering.
+"""
+
+from repro.store.keys import spec_fingerprint, spec_key
+from repro.store.results import ResultsStore
+
+__all__ = ["ResultsStore", "spec_fingerprint", "spec_key"]

@@ -1,0 +1,202 @@
+"""Append-only, crash-tolerant results store for sweep checkpointing.
+
+One directory per sweep::
+
+    <dir>/results.jsonl    one JSON line per completed spec (append-only)
+    <dir>/manifest.json    atomically-replaced metadata + entry count
+
+``results.jsonl`` is the source of truth: each line carries the spec's
+content hash (:func:`~repro.store.keys.spec_key`) and the full
+:meth:`RunSummary.to_dict` snapshot, flushed as soon as the run
+completes, so a crash loses at most the line being written.  On open the
+store re-reads the log, tolerates (and truncates away) a torn final
+line, and exposes the completed-key set — the streaming executor skips
+those specs and serves their results straight from the store.
+
+The manifest is written with the write-temp-then-``os.replace`` idiom,
+so readers never observe a half-written manifest; it is bookkeeping
+(entry count, layout version), never the data itself.
+
+Only summary-shaped results are stored: a spec that must travel as a
+full collector (``record_events``) re-runs on resume rather than
+silently losing its event streams.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import SimulationError
+from repro.store.keys import spec_key
+from repro.telemetry.summary import RunSummary
+
+if TYPE_CHECKING:
+    from repro.sim.parallel import RunSpec
+    from repro.sim.runner import RunResult
+
+__all__ = ["ResultsStore"]
+
+#: Manifest layout version (independent of the spec-key version).
+_STORE_VERSION = 1
+
+#: Refresh the manifest every this many recorded results (plus on close).
+_MANIFEST_EVERY = 32
+
+
+class ResultsStore:
+    """Checkpoint/resume store for one sweep's completed runs.
+
+    ``fresh=True`` discards any prior contents (a new sweep in a reused
+    directory); the default re-reads them so interrupted sweeps resume
+    where they died.  Usable as a context manager; :meth:`close` writes
+    the final manifest.
+    """
+
+    def __init__(self, directory: str, fresh: bool = False) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.results_path = os.path.join(self.directory, "results.jsonl")
+        self.manifest_path = os.path.join(self.directory, "manifest.json")
+        self._payloads: dict[str, dict] = {}
+        self._since_manifest = 0
+        if fresh:
+            for path in (self.results_path, self.manifest_path):
+                if os.path.exists(path):
+                    os.remove(path)
+        else:
+            self._load()
+        self._fh = open(self.results_path, "a", encoding="utf-8")
+
+    # -- loading -------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Re-read the log; drop and truncate away a torn final line."""
+        if not os.path.exists(self.results_path):
+            return
+        valid_bytes = 0
+        with open(self.results_path, "rb") as fh:
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail: a crash mid-write
+                try:
+                    payload = json.loads(raw)
+                    key = payload["key"]
+                    payload["summary"]  # noqa: B018 - presence check
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    break  # corrupt line: nothing after it is trustworthy
+                self._payloads[key] = payload
+                valid_bytes += len(raw)
+        if valid_bytes < os.path.getsize(self.results_path):
+            # Truncate the garbage so the next append starts a clean line.
+            with open(self.results_path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+
+    # -- interface -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._payloads
+
+    def completed_keys(self) -> set[str]:
+        return set(self._payloads)
+
+    def has_spec(self, spec: "RunSpec") -> bool:
+        return spec_key(spec) in self._payloads
+
+    def record(self, spec: "RunSpec", result: "RunResult") -> bool:
+        """Persist one completed run; returns False for unstorable results.
+
+        Only summary-shaped stats can round-trip through JSON; a full
+        collector (event-recording specs) is not stored, so those specs
+        simply re-run on resume.
+        """
+        if not isinstance(result.stats, RunSummary):
+            return False
+        key = spec_key(spec)
+        payload = {"key": key, "label": spec.label,
+                   "summary": result.stats.to_dict()}
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._payloads[key] = payload
+        self._since_manifest += 1
+        if self._since_manifest >= _MANIFEST_EVERY:
+            self.write_manifest()
+        return True
+
+    def result_for(self, spec: "RunSpec") -> "RunResult":
+        """Reconstruct a completed spec's result from the store.
+
+        The stored summary carries the physics; the caller's spec
+        supplies the config object (configs are part of the key, so they
+        are guaranteed to match) and the current label.
+        """
+        from repro.sim.runner import RunResult
+
+        key = spec_key(spec)
+        payload = self._payloads.get(key)
+        if payload is None:
+            raise SimulationError(
+                f"spec {spec.label!r} ({key}) is not in the results store"
+            )
+        summary = RunSummary.from_dict(payload["summary"])
+        summary.label = spec.label
+        return RunResult(
+            workload=summary.workload,
+            scheme=summary.scheme,
+            config=spec.config,
+            seed=summary.seed,
+            stats=summary,
+            violations=summary.violations,
+            worker_retries=summary.worker_retries,
+            serial_fallback=summary.serial_fallback,
+        )
+
+    def iter_summaries(self) -> Iterator[RunSummary]:
+        """Every stored summary, in insertion order (analysis over a
+        finished or partial sweep without re-running anything)."""
+        for payload in self._payloads.values():
+            yield RunSummary.from_dict(payload["summary"])
+
+    # -- manifest ------------------------------------------------------------
+
+    def write_manifest(self) -> None:
+        """Atomically publish the manifest (write temp, then replace)."""
+        manifest = {
+            "version": _STORE_VERSION,
+            "entries": len(self._payloads),
+            "results_file": os.path.basename(self.results_path),
+        }
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+        self._since_manifest = 0
+
+    def read_manifest(self) -> dict | None:
+        """The last atomically-published manifest, or None."""
+        try:
+            with open(self.manifest_path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.write_manifest()
+            self._fh.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

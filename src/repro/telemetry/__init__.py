@@ -36,10 +36,13 @@ from repro.telemetry.sinks import (
     summary_dict,
 )
 from repro.telemetry.summary import (
+    MetricsAccumulator,
     MetricStats,
     RunSummary,
+    SummaryAccumulator,
     aggregate_metrics,
     merge_summaries,
+    stats_of_values,
 )
 
 __all__ = [
@@ -54,14 +57,17 @@ __all__ = [
     "FillEvent",
     "JsonlTraceSink",
     "MetricStats",
+    "MetricsAccumulator",
     "NullSink",
     "RunCompleteEvent",
     "RunSummary",
     "SUMMARY_KEYS",
+    "SummaryAccumulator",
     "TxnAbortEvent",
     "TxnCommitEvent",
     "TxnStartEvent",
     "aggregate_metrics",
     "merge_summaries",
+    "stats_of_values",
     "summary_dict",
 ]

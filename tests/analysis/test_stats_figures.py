@@ -1,0 +1,119 @@
+"""Error-bar figure computations and renderers over a real seed sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figures, report
+from repro.analysis.experiments import run_seed_sweep
+from repro.config import DetectionScheme
+from repro.telemetry.summary import MetricStats, stats_of_values
+
+BENCHES = ("kmeans", "genome")
+SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_seed_sweep(txns_per_core=25, seeds=SEEDS, benchmarks=BENCHES)
+
+
+class TestStatsOfValues:
+    def test_matches_statistics_module(self):
+        import statistics
+
+        vals = [1.0, 2.5, 4.0, 8.0]
+        s = stats_of_values(vals)
+        assert s.mean == pytest.approx(statistics.fmean(vals))
+        assert s.stdev == pytest.approx(statistics.stdev(vals))
+        assert s.n == 4
+        assert s.minimum == 1.0 and s.maximum == 8.0
+
+    def test_single_value(self):
+        s = stats_of_values([3.0])
+        assert s.mean == 3.0 and s.stdev == 0.0 and s.n == 1
+
+
+class TestFig1Stats:
+    def test_rows_plus_average(self, sweep):
+        rows = figures.fig1_false_rates_stats(sweep)
+        assert [r[0] for r in rows] == ["kmeans", "genome", "average"]
+        for _name, s in rows:
+            assert isinstance(s, MetricStats)
+            assert s.n == len(SEEDS)
+            assert 0.0 <= s.mean <= 1.0
+
+    def test_matches_per_seed_values(self, sweep):
+        rows = dict(figures.fig1_false_rates_stats(sweep))
+        vals = [
+            r.false_rate
+            for r in sweep.runs[("kmeans", DetectionScheme.ASF_BASELINE.value)]
+        ]
+        assert rows["kmeans"] == stats_of_values(vals)
+
+    def test_average_row_is_seedwise_mean(self, sweep):
+        """The average bar aggregates per-seed cross-benchmark means."""
+        rows = dict(figures.fig1_false_rates_stats(sweep))
+        per_seed = [
+            sum(
+                sweep.runs[(b, DetectionScheme.ASF_BASELINE.value)][k].false_rate
+                for b in BENCHES
+            )
+            / len(BENCHES)
+            for k in range(len(SEEDS))
+        ]
+        assert rows["average"].mean == pytest.approx(
+            stats_of_values(per_seed).mean
+        )
+
+
+class TestDerivedStats:
+    def test_fig9_pairs_runs_by_seed(self, sweep):
+        rows = figures.fig9_overall_reduction_stats(sweep)
+        assert [r[0] for r in rows] == ["kmeans", "genome", "average"]
+        base = sweep.runs[("kmeans", DetectionScheme.ASF_BASELINE.value)]
+        sub = sweep.runs[("kmeans", DetectionScheme.SUBBLOCK.value)]
+        expected = stats_of_values(
+            [s.conflict_reduction_over(b) for s, b in zip(sub, base)]
+        )
+        assert rows[0][1] == expected
+
+    def test_fig10_speedups(self, sweep):
+        rows = figures.fig10_exec_improvement_stats(sweep)
+        for _name, sub, perf in rows:
+            assert sub.n == len(SEEDS) and perf.n == len(SEEDS)
+
+    def test_missing_scheme_rejected(self, sweep):
+        partial = run_seed_sweep(
+            txns_per_core=10,
+            seeds=(1, 2),
+            benchmarks=("kmeans",),
+            schemes=(DetectionScheme.ASF_BASELINE,),
+        )
+        with pytest.raises(ValueError, match="missing scheme"):
+            figures.fig9_overall_reduction_stats(partial)
+        # Figure 1 only needs the baseline, so the partial sweep is fine.
+        assert figures.fig1_false_rates_stats(partial)
+
+    def test_commit_rates_bounded(self, sweep):
+        for _b, _scheme, s in figures.commit_rate_stats(sweep):
+            assert 0.0 < s.mean <= 1.0
+            assert s.n == len(SEEDS)
+
+
+class TestRenderers:
+    def test_seed_figures_block(self, sweep):
+        out = report.render_seed_figures(sweep)
+        assert f"mean ± stdev over {len(SEEDS)} seeds" in out
+        assert "Figure 1" in out and "Figure 9" in out and "Figure 10" in out
+        assert "Commit rate per system" in out
+        assert "% ± " in out
+
+    def test_error_bars_in_every_stats_table(self, sweep):
+        for render in (
+            report.render_fig1_stats,
+            report.render_fig9_stats,
+            report.render_fig10_stats,
+            report.render_commit_rates_stats,
+        ):
+            assert "% ± " in render(sweep)

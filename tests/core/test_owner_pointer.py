@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import DetectionScheme, default_system
-from repro.mem.moesi import MoesiState, supplies_data
+from repro.mem.moesi import supplies_data
 from repro.sim.engine import SimulationEngine
 from repro.workloads.registry import get_workload
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.htm.ops import OpKind, TxnOp, read_op, work_op, write_op
+from repro.htm.ops import OpKind, read_op, work_op, write_op
 
 
 class TestConstructors:

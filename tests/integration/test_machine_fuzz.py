@@ -20,7 +20,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import DetectionScheme, default_system
-from repro.htm.txn import AbortCause, TxnStatus
+from repro.htm.txn import AbortCause
 from repro.mem.moesi import check_global_invariant
 from tests.conftest import make_machine
 

@@ -1,0 +1,176 @@
+"""ResultsStore: content-hashed keys, crash-tolerant JSONL, manifests."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import DetectionScheme, default_system
+from repro.errors import SimulationError
+from repro.sim.parallel import RunSpec, run_many
+from repro.store import ResultsStore, spec_fingerprint, spec_key
+from repro.telemetry.summary import RunSummary
+
+TXNS = 10
+
+
+def make_spec(seed: int = 1, label: str = "x", **kw) -> RunSpec:
+    return RunSpec(
+        workload="kmeans",
+        config=default_system(DetectionScheme.SUBBLOCK, 4),
+        seed=seed,
+        txns_per_core=TXNS,
+        label=label,
+        **kw,
+    )
+
+
+def run_one(spec: RunSpec):
+    (res,) = run_many([spec], jobs=1, transfer="summary")
+    return res
+
+
+class TestSpecKey:
+    def test_stable_across_calls(self):
+        assert spec_key(make_spec()) == spec_key(make_spec())
+
+    def test_label_and_metadata_excluded(self):
+        """Relabeling a sweep axis must not invalidate its checkpoints."""
+        a = make_spec(label="old name")
+        b = make_spec(label="new name", metadata={"note": "relabeled"})
+        assert spec_key(a) == spec_key(b)
+
+    def test_physics_inputs_are_included(self):
+        base = make_spec()
+        assert spec_key(base) != spec_key(make_spec(seed=2))
+        assert spec_key(base) != spec_key(
+            RunSpec(
+                workload="kmeans",
+                config=default_system(DetectionScheme.ASF_BASELINE, 4),
+                seed=1,
+                txns_per_core=TXNS,
+            )
+        )
+        assert spec_key(base) != spec_key(make_spec(check_atomicity=True))
+
+    def test_fingerprint_is_json_safe(self):
+        fp = spec_fingerprint(make_spec())
+        assert json.loads(json.dumps(fp)) == fp
+
+
+class TestRoundTrip:
+    def test_record_and_reload(self, tmp_path):
+        spec = make_spec()
+        res = run_one(spec)
+        with ResultsStore(tmp_path) as store:
+            assert store.record(spec, res)
+            assert store.has_spec(spec)
+        with ResultsStore(tmp_path) as store:
+            assert len(store) == 1
+            clone = store.result_for(spec)
+        assert isinstance(clone.stats, RunSummary)
+        assert clone.stats.summary() == res.stats.summary()
+        assert clone.stats.per_core_cycles == res.stats.per_core_cycles
+        assert clone.workload == res.workload and clone.scheme == res.scheme
+        assert clone.seed == res.seed and clone.config == res.config
+
+    def test_current_label_wins_on_reload(self, tmp_path):
+        spec = make_spec(label="v1")
+        res = run_one(spec)
+        with ResultsStore(tmp_path) as store:
+            store.record(spec, res)
+            clone = store.result_for(make_spec(label="v2"))
+        assert clone.stats.label == "v2"
+
+    def test_full_collector_not_stored(self, tmp_path):
+        spec = make_spec()
+        (res,) = run_many([spec], jobs=1, transfer="full")
+        with ResultsStore(tmp_path) as store:
+            assert not store.record(spec, res)
+            assert not store.has_spec(spec)
+
+    def test_missing_spec_raises(self, tmp_path):
+        with ResultsStore(tmp_path) as store:
+            with pytest.raises(SimulationError):
+                store.result_for(make_spec())
+
+    def test_iter_summaries(self, tmp_path):
+        with ResultsStore(tmp_path) as store:
+            for seed in (1, 2):
+                spec = make_spec(seed=seed)
+                store.record(spec, run_one(spec))
+            seeds = [s.seed for s in store.iter_summaries()]
+        assert seeds == [1, 2]
+
+    def test_fresh_discards_prior_contents(self, tmp_path):
+        spec = make_spec()
+        with ResultsStore(tmp_path) as store:
+            store.record(spec, run_one(spec))
+        with ResultsStore(tmp_path, fresh=True) as store:
+            assert len(store) == 0
+            assert not store.has_spec(spec)
+
+
+class TestCrashTolerance:
+    def fill(self, tmp_path, seeds=(1, 2)):
+        with ResultsStore(tmp_path) as store:
+            for seed in seeds:
+                spec = make_spec(seed=seed)
+                store.record(spec, run_one(spec))
+        return os.path.join(tmp_path, "results.jsonl")
+
+    def test_torn_final_line_truncated(self, tmp_path):
+        path = self.fill(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key":"torn')  # crash mid-append: no newline
+        with ResultsStore(tmp_path) as store:
+            assert len(store) == 2
+            # The torn tail was truncated, so a new append starts clean.
+            spec = make_spec(seed=3)
+            store.record(spec, run_one(spec))
+        with ResultsStore(tmp_path) as store:
+            assert len(store) == 3
+            assert store.has_spec(make_spec(seed=3))
+
+    def test_corrupt_line_drops_the_rest(self, tmp_path):
+        path = self.fill(tmp_path)
+        lines = open(path, encoding="utf-8").readlines()
+        lines[0] = "not json at all\n"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
+        with ResultsStore(tmp_path) as store:
+            assert len(store) == 0  # nothing after the corruption is trusted
+
+    def test_empty_directory_is_fine(self, tmp_path):
+        with ResultsStore(tmp_path) as store:
+            assert len(store) == 0
+            assert store.completed_keys() == set()
+
+
+class TestManifest:
+    def test_written_on_close(self, tmp_path):
+        spec = make_spec()
+        store = ResultsStore(tmp_path)
+        store.record(spec, run_one(spec))
+        store.close()
+        manifest = ResultsStore(tmp_path).read_manifest()
+        assert manifest is not None
+        assert manifest["entries"] == 1
+        assert manifest["results_file"] == "results.jsonl"
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        with ResultsStore(tmp_path) as store:
+            spec = make_spec()
+            store.record(spec, run_one(spec))
+            store.write_manifest()
+        assert not os.path.exists(os.path.join(tmp_path, "manifest.json.tmp"))
+
+    def test_unreadable_manifest_returns_none(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.read_manifest() is None
+        with open(store.manifest_path, "w", encoding="utf-8") as fh:
+            fh.write("{half a manifest")
+        assert store.read_manifest() is None
+        store.close()

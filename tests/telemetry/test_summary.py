@@ -12,7 +12,9 @@ from repro.sim.runner import run_workload
 from repro.telemetry.sinks import COUNTER_FIELDS
 from repro.telemetry.summary import (
     MetricStats,
+    MetricsAccumulator,
     RunSummary,
+    SummaryAccumulator,
     aggregate_metrics,
     merge_summaries,
 )
@@ -90,6 +92,61 @@ class TestMerge:
     def test_merge_empty_rejected(self):
         with pytest.raises(ValueError):
             merge_summaries([])
+
+
+class TestAccumulators:
+    def test_incremental_equals_batch(self):
+        summaries = [
+            RunSummary.from_sink(run(seed=s).stats, workload="kmeans",
+                                 scheme="subblock", seed=s)
+            for s in (1, 2, 3)
+        ]
+        acc = SummaryAccumulator()
+        for s in summaries:
+            acc.add(s)
+        assert acc.count == 3
+        assert acc.merged().to_dict() == merge_summaries(summaries).to_dict()
+
+    def test_empty_accumulator_rejected(self):
+        acc = SummaryAccumulator()
+        assert acc.count == 0
+        with pytest.raises(ValueError):
+            acc.merged()
+
+    def test_metrics_accumulator_equals_batch(self):
+        summaries = [RunSummary.from_sink(run(seed=s).stats) for s in (1, 2)]
+        macc = MetricsAccumulator()
+        for s in summaries:
+            macc.add(s)
+        assert macc.stats() == aggregate_metrics(summaries)
+
+    def test_metrics_accumulator_empty(self):
+        assert MetricsAccumulator().stats() == {}
+
+
+class TestDictRoundTrip:
+    def test_to_dict_from_dict_is_lossless(self):
+        res = run(seed=4)
+        summ = RunSummary.from_sink(
+            res.stats, workload=res.workload, scheme=res.scheme, seed=4,
+            label="rt",
+        )
+        summ.worker_retries = 2
+        summ.serial_fallback = True
+        clone = RunSummary.from_dict(summ.to_dict())
+        assert clone.to_dict() == summ.to_dict()
+        assert clone.summary() == summ.summary()
+        assert clone.retries_by_static == summ.retries_by_static
+        assert clone.worker_retries == 2 and clone.serial_fallback
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        summ = RunSummary.from_sink(run().stats)
+        payload = json.dumps(summ.to_dict())
+        assert RunSummary.from_dict(json.loads(payload)).summary() == (
+            summ.summary()
+        )
 
 
 class TestAggregateMetrics:

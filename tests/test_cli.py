@@ -69,3 +69,61 @@ class TestCommands:
 
         assert repro.__version__
         assert "vacation" in repro.BENCHMARK_NAMES
+
+
+class TestCheckpoint:
+    def test_run_checkpoint_then_resume_identical(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "store")
+        argv = ["run", "ssca2", "--txns", "10", "--checkpoint", ckpt]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "store" / "results.jsonl").exists()
+        assert (tmp_path / "store" / "manifest.json").exists()
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_without_resume_store_starts_fresh(self, tmp_path):
+        from repro.store import ResultsStore
+
+        ckpt = str(tmp_path / "store")
+        assert main(["run", "ssca2", "--txns", "10", "--checkpoint", ckpt]) == 0
+        assert main(
+            ["run", "ssca2", "--txns", "8", "--checkpoint", ckpt]
+        ) == 0
+        with ResultsStore(ckpt) as store:
+            # Only the second invocation's 3 runs survive the wipe.
+            assert len(store) == 3
+
+    def test_sweep_checkpoint(self, tmp_path, capsys):
+        from repro.store import ResultsStore
+
+        ckpt = str(tmp_path / "store")
+        assert main(
+            ["sweep", "ssca2", "--txns", "8", "--counts", "1,4",
+             "--checkpoint", ckpt]
+        ) == 0
+        assert "N=4" in capsys.readouterr().out
+        with ResultsStore(ckpt) as store:
+            assert len(store) == 2
+
+    def test_seeded_run_checkpoint(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "store")
+        argv = ["run", "ssca2", "--txns", "8", "--seeds", "2",
+                "--checkpoint", ckpt]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "mean ± stdev" in first
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestSeedFigures:
+    def test_suite_seeds_renders_error_bar_figures(self, capsys):
+        assert main(["suite", "--txns", "6", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mean ± stdev over 2 seeds" in out
+        # The error-bar editions of the headline figures are present.
+        assert "Figure 9: Percentage of overall conflict reduction, mean" in out
+        assert "Figure 10: Improvement of overall execution time, mean" in out
+        assert "Commit rate per system" in out
+        assert "% ± " in out
