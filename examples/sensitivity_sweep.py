@@ -12,7 +12,7 @@ Run:  python examples/sensitivity_sweep.py [benchmark] [txns_per_core]
 import sys
 
 from repro import DetectionScheme, default_system, get_workload
-from repro.analysis.traceanalysis import reduction_by_granularity
+from repro.analysis.granularity import reduction_by_granularity
 from repro.sim.runner import run_scripts
 from repro.util.tables import format_table, percent
 

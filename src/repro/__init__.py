@@ -16,6 +16,19 @@ Quickstart::
     print("false conflicts eliminated:", sub.false_reduction_over(base))
     print("execution improvement:", sub.speedup_over(base))
 
+Record a run's event trace and run conflict forensics over it::
+
+    from repro import analyze_trace, default_system, run_workload
+
+    cfg = default_system().with_telemetry(sink="trace", trace_path="ev.jsonl")
+    run_workload(get_workload("kmeans", 200), cfg, seed=1)
+    print(analyze_trace("ev.jsonl"))
+
+Everything in ``__all__`` below is the stable public API: these names
+keep working across minor releases, with renames bridged by
+``DeprecationWarning`` shims for one release before removal.  Deeper
+module paths are implementation detail.
+
 Layering (each layer only depends on the ones above it):
 
 * :mod:`repro.util`, :mod:`repro.config`, :mod:`repro.errors`
@@ -27,6 +40,20 @@ Layering (each layer only depends on the ones above it):
 * :mod:`repro.analysis` — figure/table regeneration
 """
 
+from repro.analysis.experiments import (
+    SeedSweepResults,
+    SuiteResults,
+    run_seed_sweep,
+    run_suite,
+)
+from repro.analysis.granularity import conflict_survives, reduction_by_granularity
+from repro.analysis.trace import (
+    ConflictTimeline,
+    TraceHeader,
+    TraceReader,
+    analyze_trace,
+    read_events,
+)
 from repro.config import (
     CacheConfig,
     DetectionScheme,
@@ -43,29 +70,53 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
-from repro.sim.runner import RunResult, compare_systems, run_workload
+from repro.sim.runner import (
+    RunResult,
+    compare_systems,
+    compare_systems_seeds,
+    run_workload,
+)
+from repro.store import ResultsStore, StoreEntry
+from repro.telemetry import RunSummary, aggregate_metrics, merge_summaries
 from repro.workloads.registry import BENCHMARK_NAMES, all_workloads, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AtomicityViolation",
     "BENCHMARK_NAMES",
     "CacheConfig",
     "ConfigError",
+    "ConflictTimeline",
     "DetectionScheme",
     "HtmConfig",
     "LatencyConfig",
     "ProtocolError",
     "ReproError",
+    "ResultsStore",
     "RunResult",
+    "RunSummary",
+    "SeedSweepResults",
     "SimulationError",
+    "StoreEntry",
+    "SuiteResults",
     "SystemConfig",
+    "TraceHeader",
+    "TraceReader",
     "WorkloadError",
     "__version__",
+    "aggregate_metrics",
     "all_workloads",
+    "analyze_trace",
     "compare_systems",
+    "compare_systems_seeds",
+    "conflict_survives",
     "default_system",
     "get_workload",
+    "merge_summaries",
+    "read_events",
+    "reduction_by_granularity",
+    "run_seed_sweep",
+    "run_suite",
     "run_workload",
 ]

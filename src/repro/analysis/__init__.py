@@ -1,20 +1,37 @@
 """Evaluation harness: regenerates every table and figure of the paper.
 
-* :mod:`repro.analysis.traceanalysis` — open-loop re-evaluation of
+* :mod:`repro.analysis.granularity` — open-loop re-evaluation of
   recorded conflicts under arbitrary sub-block granularity (Figures 5, 8);
+* :mod:`repro.analysis.trace` — trace-driven conflict forensics: replays
+  a recorded JSONL event trace into timelines, figures and reports;
 * :mod:`repro.analysis.figures` — the per-figure computations;
 * :mod:`repro.analysis.experiments` — suite orchestration: runs all
   benchmarks under all three systems and caches the results;
 * :mod:`repro.analysis.report` — ASCII rendering and EXPERIMENTS.md
   generation.
+
+:mod:`repro.analysis.traceanalysis` is a deprecated alias for
+:mod:`repro.analysis.granularity`.
 """
 
 from repro.analysis.experiments import SuiteResults, run_suite
-from repro.analysis.traceanalysis import conflict_survives, reduction_by_granularity
+from repro.analysis.granularity import conflict_survives, reduction_by_granularity
+from repro.analysis.trace import (
+    ConflictTimeline,
+    TraceHeader,
+    TraceReader,
+    analyze_trace,
+    read_events,
+)
 
 __all__ = [
+    "ConflictTimeline",
     "SuiteResults",
+    "TraceHeader",
+    "TraceReader",
+    "analyze_trace",
     "conflict_survives",
+    "read_events",
     "reduction_by_granularity",
     "run_suite",
 ]

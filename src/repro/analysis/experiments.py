@@ -131,6 +131,7 @@ def run_suite(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    trace_dir: str | None = None,
 ) -> SuiteResults:
     """Run every benchmark under baseline/sub-block/perfect.
 
@@ -142,14 +143,25 @@ def run_suite(
     to a serial suite.  ``store`` checkpoints the summary-shaped runs
     (the event-recording baselines re-run on resume — their event
     streams cannot round-trip through JSON); ``on_result`` fires as each
-    run completes.
+    run completes.  ``trace_dir`` records every run as a JSONL event
+    trace (``<bench>_<scheme>.jsonl``) for post-hoc forensics.
     """
+    import os
+
+    from repro.sim.runner import _traced, trace_filename
+
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     base_cfg = config if config is not None else default_system()
     suite = SuiteResults(txns_per_core=txns_per_core, seed=seed)
     specs = [
         RunSpec(
             workload=name,
-            config=base_cfg.with_scheme(scheme, n_subblocks),
+            config=_traced(
+                base_cfg.with_scheme(scheme, n_subblocks),
+                trace_dir,
+                trace_filename(name, scheme.value),
+            ),
             seed=seed,
             txns_per_core=txns_per_core,
             label=f"{name}:{scheme.value}",

@@ -24,7 +24,7 @@ from repro.analysis.experiments import (
     SeedSweepResults,
     SuiteResults,
 )
-from repro.analysis.traceanalysis import reduction_by_granularity
+from repro.analysis.granularity import reduction_by_granularity
 from repro.config import DetectionScheme
 from repro.sim.runner import RunResult
 from repro.sim.stats import StatsCollector

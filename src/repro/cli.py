@@ -11,6 +11,13 @@ Subcommands::
     repro-asf save-scripts ssca2 out.jsonl   # compile + serialize a program
     repro-asf replay out.jsonl           # simulate a serialized program
     repro-asf trace kmeans events.jsonl  # export a JSONL event trace
+    repro-asf analyze events.jsonl       # conflict forensics from a trace
+    repro-asf store ls DIR               # inspect a results store
+    repro-asf store gc DIR --keep-last 8 # prune a results store
+
+``--trace-dir DIR`` on ``run``/``suite`` records every run's event
+trace into DIR *and* writes a ``<run>.report.txt`` forensics report next
+to each trace — record and analyze in one pass.
 
 ``--seeds N`` on ``run``/``suite`` repeats the experiment over seeds
 1..N and reports every metric as mean ± sample stdev (``suite`` then
@@ -29,6 +36,7 @@ by :mod:`repro.analysis`.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.experiments import run_seed_sweep, run_suite
@@ -98,6 +106,31 @@ def _open_store(args: argparse.Namespace):
     return ResultsStore(directory, fresh=not args.resume)
 
 
+def _analyze_trace_dir(trace_dir: str | None) -> None:
+    """Forensics pass over every trace in a ``--trace-dir`` directory.
+
+    Each ``<run>.jsonl`` gets a ``<run>.report.txt`` sibling; the pass
+    prints one summary line so the figure output above stays primary.
+    """
+    if trace_dir is None:
+        return
+    import glob
+
+    from repro.analysis.trace import analyze_trace
+
+    traces = sorted(glob.glob(os.path.join(trace_dir, "*.jsonl")))
+    for path in traces:
+        report = analyze_trace(path)
+        out = os.path.splitext(path)[0] + ".report.txt"
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    if traces:
+        print(
+            f"\n[trace-dir] {len(traces)} traces recorded and analyzed in "
+            f"{trace_dir} (one .report.txt per trace)"
+        )
+
+
 def _result_rows(results, base):
     rows = []
     for name, res in results.items():
@@ -154,7 +187,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             by_scheme = compare_systems_seeds(
                 workload, seeds, n_subblocks=args.subblocks,
                 check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
-                store=store, on_result=progress,
+                store=store, on_result=progress, trace_dir=args.trace_dir,
             )
         finally:
             progress.finish()
@@ -184,13 +217,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ),
             )
         )
+        _analyze_trace_dir(args.trace_dir)
         return 0
     progress = _ProgressLine(len(schemes))
     try:
         results = compare_systems(
             workload, seed=args.seed, n_subblocks=args.subblocks,
             check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
-            store=store, on_result=progress,
+            store=store, on_result=progress, trace_dir=args.trace_dir,
         )
     finally:
         progress.finish()
@@ -204,6 +238,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=f"{args.benchmark} (seed {args.seed}, {args.txns} txns/core)",
         )
     )
+    _analyze_trace_dir(args.trace_dir)
     return 0
 
 
@@ -214,7 +249,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         progress = _ProgressLine(n_suite)
         suite = run_suite(
             txns_per_core=args.txns, seed=args.seed, jobs=args.jobs,
-            store=store, on_result=progress,
+            store=store, on_result=progress, trace_dir=args.trace_dir,
         )
         progress.finish()
         out = render_all(suite)
@@ -228,6 +263,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             progress.finish()
             out += "\n\n" + "=" * 72 + "\n\n" + render_seed_figures(sweep)
         print(out)
+        _analyze_trace_dir(args.trace_dir)
     finally:
         if store is not None:
             store.close()
@@ -235,6 +271,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.trace import TraceReader
     from repro.sim.runner import run_workload
 
     workload = get_workload(args.benchmark, args.txns)
@@ -244,13 +281,95 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         sink="trace", trace_path=args.path, trace_accesses=args.accesses,
     )
     res = run_workload(workload, cfg, seed=args.seed, check_atomicity=False)
-    with open(args.path, encoding="utf-8") as fh:
-        n_lines = sum(1 for _ in fh)
+    with TraceReader(args.path) as reader:
+        n_events = sum(1 for _ in reader)
+        header = reader.header
     print(
-        f"wrote {args.path}: {n_lines} events "
-        f"({res.stats.txn_commits} commits, "
+        f"wrote {args.path}: {n_events} events "
+        f"(schema {header.schema} v{header.major}.{header.minor}, "
+        f"{res.stats.txn_commits} commits, "
         f"{res.stats.conflicts.total} conflicts)"
     )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.trace import (
+        TRACE_FIGURES,
+        ConflictTimeline,
+        analyze_trace,
+    )
+
+    chosen = args.fig or ["all"]
+    figs = TRACE_FIGURES if "all" in chosen else tuple(dict.fromkeys(chosen))
+    report = analyze_trace(
+        args.path, figs=figs, bins=args.bins, top=args.top,
+        n_subblocks=args.subblocks, cascade_window=args.cascade_window,
+    )
+    if args.out is None:
+        print(report)
+        return 0
+    os.makedirs(args.out, exist_ok=True)
+    report_path = os.path.join(args.out, "report.txt")
+    with open(report_path, "w", encoding="utf-8") as fh:
+        fh.write(report + "\n")
+    written = [report_path]
+    timeline = ConflictTimeline.from_trace(args.path)
+    tsvs = {}
+    if "3" in figs:
+        hist = timeline.conflict_lifetime_histogram(bins=args.bins)
+        tsvs["fig3.tsv"] = [("lifetime_bin", "false_conflicts")] + [
+            (f"{k / args.bins:.2f}", n) for k, n in enumerate(hist)
+        ]
+    if "4" in figs:
+        tsvs["fig4.tsv"] = [("line_index", "line_addr", "false_conflicts")] + [
+            (index, f"{addr:#x}", n)
+            for index, addr, n in timeline.line_ranking()
+        ]
+    if "5" in figs:
+        tsvs["fig5.tsv"] = [
+            ("byte_offset", "false_conflicts")
+        ] + timeline.conflict_offset_histogram()
+    for name, rows in tsvs.items():
+        path = os.path.join(args.out, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write("\t".join(str(c) for c in row) + "\n")
+        written.append(path)
+    print(f"wrote {', '.join(written)}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import ResultsStore
+
+    with ResultsStore(args.dir, fresh=False) as store:
+        if args.store_command == "ls":
+            entries = store.entries()
+            rows = [
+                (e.label or e.key[:12], e.workload, e.scheme, e.seed,
+                 e.commits, e.execution_cycles, e.key[:12])
+                for e in entries
+            ]
+            print(
+                format_table(
+                    ("label", "workload", "scheme", "seed", "commits",
+                     "cycles", "key"),
+                    rows,
+                    title=f"{args.dir}: {len(entries)} stored runs",
+                )
+            )
+            return 0
+        # gc: drop entries matching the filters, then trim to the newest N.
+        predicate = None
+        if args.workload or args.scheme:
+            def predicate(entry, _w=args.workload, _s=args.scheme):
+                drops = (not _w or entry.workload == _w) and (
+                    not _s or entry.scheme == _s
+                )
+                return not drops
+        removed = store.prune(keep=args.keep_last, predicate=predicate)
+        print(f"{args.dir}: removed {removed}, kept {len(store)}")
     return 0
 
 
@@ -368,7 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list the Table III benchmarks")
     p_list.set_defaults(func=_cmd_list)
 
-    def common(p, bench=True, seeds=False, checkpoint=False):
+    def common(p, bench=True, seeds=False, checkpoint=False, trace_dir=False):
         if bench:
             p.add_argument("benchmark", choices=BENCHMARK_NAMES)
         p.add_argument("--txns", type=int, default=200)
@@ -395,9 +514,15 @@ def build_parser() -> argparse.ArgumentParser:
                 help="with --checkpoint: keep DIR's prior contents and skip "
                 "runs already stored (default: start DIR fresh)",
             )
+        if trace_dir:
+            p.add_argument(
+                "--trace-dir", metavar="DIR", default=None,
+                help="record every run's JSONL event trace into DIR and "
+                "write a forensics .report.txt next to each trace",
+            )
 
     p_run = sub.add_parser("run", help="run one benchmark on all systems")
-    common(p_run, seeds=True, checkpoint=True)
+    common(p_run, seeds=True, checkpoint=True, trace_dir=True)
     p_run.add_argument("--subblocks", type=int, default=4)
     p_run.add_argument("--check", action="store_true",
                        help="enable the atomicity checker")
@@ -406,7 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="regenerate every table and figure")
-    common(p_suite, bench=False, seeds=True, checkpoint=True)
+    common(p_suite, bench=False, seeds=True, checkpoint=True, trace_dir=True)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_trace = sub.add_parser(
@@ -420,6 +545,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--accesses", action="store_true",
                          help="also trace per-access events (large)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="conflict forensics from a recorded event trace"
+    )
+    p_analyze.add_argument("path", help="input .jsonl trace file")
+    p_analyze.add_argument(
+        "--fig", action="append", choices=["3", "4", "5", "all"],
+        default=None,
+        help="figure(s) to regenerate from the trace (repeatable; "
+        "default: all)",
+    )
+    p_analyze.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write report.txt plus per-figure .tsv data into DIR instead "
+        "of printing",
+    )
+    p_analyze.add_argument("--bins", type=int, default=10,
+                           help="lifetime-histogram bins (Fig. 3)")
+    p_analyze.add_argument("--top", type=int, default=8,
+                           help="rows in the ranking tables")
+    p_analyze.add_argument("--subblocks", type=int, default=4,
+                           help="sub-block grain for the Fig. 5 histogram")
+    p_analyze.add_argument("--cascade-window", type=int, default=5000,
+                           help="abort-cascade linking window (cycles)")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_store = sub.add_parser("store", help="inspect / prune a results store")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_ls = store_sub.add_parser("ls", help="list stored runs")
+    p_store_ls.add_argument("dir", help="results-store directory")
+    p_store_ls.set_defaults(func=_cmd_store)
+    p_store_gc = store_sub.add_parser(
+        "gc", help="drop stored runs and compact the log"
+    )
+    p_store_gc.add_argument("dir", help="results-store directory")
+    p_store_gc.add_argument(
+        "--keep-last", type=int, default=None, metavar="N",
+        help="keep only the N most recently recorded surviving runs",
+    )
+    p_store_gc.add_argument("--workload", default=None,
+                            help="drop runs of this workload")
+    p_store_gc.add_argument("--scheme", default=None,
+                            help="drop runs of this scheme")
+    p_store_gc.set_defaults(func=_cmd_store)
 
     p_ovh = sub.add_parser("overhead", help="Section IV-E hardware cost model")
     p_ovh.add_argument("--subblocks", type=int, default=4)
@@ -453,7 +622,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped to a consumer that closed early (e.g. `head`).
+        # Redirect stdout to devnull so the interpreter's shutdown flush
+        # does not raise again, and exit cleanly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

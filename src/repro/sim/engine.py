@@ -88,7 +88,10 @@ class SimulationEngine:
             # what run() returns, the sink is what the machine emits into
             # (they differ only when a trace export wraps the collector).
             self.stats, self.sink = build_sink(
-                config, record_events, record_detail=record_detail
+                config,
+                record_events,
+                record_detail=record_detail,
+                metadata={"seed": seed},
             )
         self.machine = HtmMachine(config, stats=self.sink)
         self.checker: AtomicityChecker | None = None

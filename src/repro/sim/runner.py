@@ -8,6 +8,8 @@ zero-false-conflict bound — exactly the comparison of Figures 9 and 10.
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -25,7 +27,28 @@ __all__ = [
     "compare_systems_seeds",
     "run_workload",
     "run_scripts",
+    "trace_filename",
 ]
+
+
+def trace_filename(workload: str, scheme: str, seed: int | None = None) -> str:
+    """Canonical per-run trace file name inside a ``--trace-dir``.
+
+    Labels are sanitised to filesystem-safe characters so registry names
+    and ad-hoc workload labels produce valid, collision-stable paths.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", workload) or "run"
+    stem = f"{safe}_{scheme}" if seed is None else f"{safe}_{scheme}_s{seed}"
+    return stem + ".jsonl"
+
+
+def _traced(config: SystemConfig, trace_dir: str | None, filename: str) -> SystemConfig:
+    """The spec's config, plus a trace export when ``trace_dir`` is set."""
+    if trace_dir is None:
+        return config
+    return config.with_telemetry(
+        sink="trace", trace_path=os.path.join(trace_dir, filename)
+    )
 
 
 @dataclass(slots=True)
@@ -146,6 +169,7 @@ def compare_systems(
     transfer: str | None = None,
     store=None,
     on_result=None,
+    trace_dir: str | None = None,
 ) -> dict[str, RunResult]:
     """Run identical compiled scripts under several detection schemes.
 
@@ -154,15 +178,23 @@ def compare_systems(
     system executes the same program.  ``jobs>1`` runs the schemes
     concurrently — results are bit-identical to the serial path.
     ``transfer``, ``store`` and ``on_result`` are forwarded to
-    :func:`~repro.sim.parallel.run_many`.
+    :func:`~repro.sim.parallel.run_many`.  ``trace_dir`` additionally
+    records each scheme's run as a JSONL event trace
+    (``<workload>_<scheme>.jsonl``) for post-hoc forensics.
     """
     from repro.sim.parallel import RunSpec, run_many
 
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     base_cfg = config if config is not None else default_system()
     specs = [
         RunSpec(
             workload=workload,
-            config=base_cfg.with_scheme(scheme, n_subblocks),
+            config=_traced(
+                base_cfg.with_scheme(scheme, n_subblocks),
+                trace_dir,
+                trace_filename(workload.name, scheme.value),
+            ),
             seed=seed,
             label=scheme.value,
             check_atomicity=check_atomicity,
@@ -191,6 +223,7 @@ def compare_systems_seeds(
     jobs: int = 1,
     store=None,
     on_result=None,
+    trace_dir: str | None = None,
 ) -> dict[str, list[RunResult]]:
     """:func:`compare_systems` fanned out over several seeds.
 
@@ -199,16 +232,24 @@ def compare_systems_seeds(
     batch is cheap to fan out.  Feed each list to
     :func:`repro.telemetry.aggregate_metrics` for mean ± stdev.
     ``store`` checkpoints each (scheme, seed) cell for resume.
+    ``trace_dir`` records every (scheme, seed) cell as
+    ``<workload>_<scheme>_s<seed>.jsonl``.
     """
     from repro.sim.parallel import RunSpec, run_many
 
     if not seeds:
         raise ValueError("compare_systems_seeds needs at least one seed")
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     base_cfg = config if config is not None else default_system()
     specs = [
         RunSpec(
             workload=workload,
-            config=base_cfg.with_scheme(scheme, n_subblocks),
+            config=_traced(
+                base_cfg.with_scheme(scheme, n_subblocks),
+                trace_dir,
+                trace_filename(workload.name, scheme.value, seed),
+            ),
             seed=seed,
             label=f"{scheme.value}/s{seed}",
             check_atomicity=check_atomicity,

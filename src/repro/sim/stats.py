@@ -73,6 +73,7 @@ def build_sink(
     config: SystemConfig,
     record_events: bool = False,
     record_detail: bool = True,
+    metadata: dict | None = None,
 ):
     """Build ``(collector, sink)`` for a run per ``config.telemetry``.
 
@@ -82,6 +83,10 @@ def build_sink(
     when a trace export is requested.  ``sink="counters"`` downgrades the
     collector to counter-only hooks unless the caller explicitly needs
     events; ``sink="detail"``/``"trace"`` force the detail layer on.
+
+    ``metadata`` extends the trace header's run context; the machine
+    description (scheme, sub-blocks, line size, cores) is always included
+    so a recorded trace is self-describing.
     """
     tcfg = config.telemetry
     if tcfg.sink == "counters":
@@ -91,7 +96,18 @@ def build_sink(
     collector = StatsCollector(record_events, record_detail=record_detail)
     sink = collector
     if tcfg.trace_path is not None:
+        header = {
+            "scheme": config.htm.scheme.value,
+            "n_subblocks": config.htm.n_subblocks,
+            "line_size": config.line_size,
+            "n_cores": config.n_cores,
+        }
+        if metadata:
+            header.update(metadata)
         sink = JsonlTraceSink(
-            tcfg.trace_path, inner=collector, trace_accesses=tcfg.trace_accesses
+            tcfg.trace_path,
+            inner=collector,
+            trace_accesses=tcfg.trace_accesses,
+            metadata=header,
         )
     return collector, sink

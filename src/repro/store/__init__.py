@@ -15,6 +15,6 @@ for the layering.
 """
 
 from repro.store.keys import spec_fingerprint, spec_key
-from repro.store.results import ResultsStore
+from repro.store.results import ResultsStore, StoreEntry
 
-__all__ = ["ResultsStore", "spec_fingerprint", "spec_key"]
+__all__ = ["ResultsStore", "StoreEntry", "spec_fingerprint", "spec_key"]

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import SimulationError
 from repro.store.keys import spec_key
@@ -36,13 +37,30 @@ if TYPE_CHECKING:
     from repro.sim.parallel import RunSpec
     from repro.sim.runner import RunResult
 
-__all__ = ["ResultsStore"]
+__all__ = ["ResultsStore", "StoreEntry"]
 
 #: Manifest layout version (independent of the spec-key version).
 _STORE_VERSION = 1
 
 #: Refresh the manifest every this many recorded results (plus on close).
 _MANIFEST_EVERY = 32
+
+
+@dataclass(frozen=True, slots=True)
+class StoreEntry:
+    """One stored run, as listed by :meth:`ResultsStore.entries`.
+
+    A cheap inspection view — the identifying fields plus the headline
+    counters — without materialising a full :class:`RunSummary`.
+    """
+
+    key: str
+    label: str
+    workload: str
+    scheme: str
+    seed: int
+    commits: int
+    execution_cycles: int
 
 
 class ResultsStore:
@@ -162,6 +180,65 @@ class ResultsStore:
         finished or partial sweep without re-running anything)."""
         for payload in self._payloads.values():
             yield RunSummary.from_dict(payload["summary"])
+
+    def entries(self) -> list[StoreEntry]:
+        """Inspection listing of every stored run, in insertion order."""
+        out = []
+        for payload in self._payloads.values():
+            summary = payload["summary"]
+            out.append(
+                StoreEntry(
+                    key=payload["key"],
+                    label=payload.get("label", ""),
+                    workload=summary.get("workload", ""),
+                    scheme=summary.get("scheme", ""),
+                    seed=summary.get("seed", 0),
+                    commits=summary.get("txn_commits", 0),
+                    execution_cycles=summary.get("execution_cycles", 0),
+                )
+            )
+        return out
+
+    def prune(
+        self,
+        keep: int | None = None,
+        predicate: "Callable[[StoreEntry], bool] | None" = None,
+    ) -> int:
+        """Drop stored entries and compact the log; returns entries removed.
+
+        ``predicate`` selects which entries survive (True = keep);
+        ``keep=N`` then retains only the *last* N survivors (insertion
+        order — the N most recently recorded).  With neither argument the
+        call is a pure compaction (rewrites the log, drops nothing).
+
+        The rewrite is atomic: survivors are written to a temp file which
+        ``os.replace``s the log, so a crash mid-prune leaves either the
+        old log or the new one, never a mix.  The append handle is
+        reopened on the new file and the manifest refreshed.
+        """
+        if keep is not None and keep < 0:
+            raise ValueError(f"keep must be non-negative, got {keep}")
+        survivors = list(self._payloads.values())
+        if predicate is not None:
+            by_key = {e.key: e for e in self.entries()}
+            survivors = [p for p in survivors if predicate(by_key[p["key"]])]
+        if keep is not None and len(survivors) > keep:
+            survivors = survivors[len(survivors) - keep:] if keep else []
+        removed = len(self._payloads) - len(survivors)
+        if removed == 0:
+            return 0
+        self._fh.close()
+        tmp = self.results_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for payload in survivors:
+                fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.results_path)
+        self._payloads = {p["key"]: p for p in survivors}
+        self._fh = open(self.results_path, "a", encoding="utf-8")
+        self.write_manifest()
+        return removed
 
     # -- manifest ------------------------------------------------------------
 

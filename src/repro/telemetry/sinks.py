@@ -33,8 +33,22 @@ __all__ = [
     "DetailSink",
     "JsonlTraceSink",
     "SUMMARY_KEYS",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_MAJOR",
+    "TRACE_SCHEMA_MINOR",
+    "cumulative_series",
     "summary_dict",
 ]
+
+#: Schema identity of the JSONL trace format.  The header line every
+#: :class:`JsonlTraceSink` writes first carries these; readers accept any
+#: minor revision of a known major and reject everything else up front
+#: (:class:`repro.analysis.trace.TraceReader`).  Bump the major on any
+#: change that would misread existing consumers (field removal/renaming),
+#: the minor for additive changes (new event kinds, new optional fields).
+TRACE_SCHEMA = "repro-asf-trace"
+TRACE_SCHEMA_MAJOR = 1
+TRACE_SCHEMA_MINOR = 0
 
 
 @dataclass(slots=True)
@@ -363,13 +377,23 @@ class DetailSink(CounterSink):
 class JsonlTraceSink:
     """Streams events as JSON lines and forwards them to an inner sink.
 
-    One line per event, ``{"event": <kind>, ...scalar fields}``, written
-    in emission order — deterministic for a deterministic run.  Per-access
-    events dominate trace volume, so they are gated behind
+    The first line is always a schema header::
+
+        {"event": "trace_header", "schema": "repro-asf-trace",
+         "major": 1, "minor": 0, "trace_accesses": false,
+         "metadata": {...caller-supplied run context...}}
+
+    then one line per event, ``{"event": <kind>, ...scalar fields}``,
+    written in emission order — deterministic for a deterministic run.
+    Per-access events dominate trace volume, so they are gated behind
     ``trace_accesses`` (off by default); everything else is always
     written.  ``on_run_complete`` writes the final marker and closes the
     file.  Attribute reads the trace sink does not define (``summary``,
     counters, …) proxy to the inner sink.
+
+    ``metadata`` is free-form JSON-safe run context (scheme, seed,
+    workload, …) carried verbatim in the header for post-mortem analysis;
+    it never affects how events are written or read.
     """
 
     kind = "trace"
@@ -379,12 +403,30 @@ class JsonlTraceSink:
         path,
         inner=None,
         trace_accesses: bool = False,
+        metadata: dict | None = None,
     ) -> None:
         self.path = path
         self.inner = inner if inner is not None else CounterSink()
         self.trace_accesses = trace_accesses
+        self.metadata = dict(metadata) if metadata else {}
         self.events_written = 0
         self._fh = open(path, "w", encoding="utf-8")
+        # The header is format framing, not an event: written directly so
+        # events_written stays the count of simulation events.
+        self._fh.write(
+            json.dumps(
+                {
+                    "event": "trace_header",
+                    "schema": TRACE_SCHEMA,
+                    "major": TRACE_SCHEMA_MAJOR,
+                    "minor": TRACE_SCHEMA_MINOR,
+                    "trace_accesses": self.trace_accesses,
+                    "metadata": self.metadata,
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
 
     def _emit(self, payload: dict) -> None:
         self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
@@ -502,10 +544,15 @@ class JsonlTraceSink:
         self.close()
 
 
-def _cumulative(
+def cumulative_series(
     times: list[int], horizon: int, n_points: int
 ) -> list[tuple[int, int]]:
-    """Sample a cumulative count of sorted-ish event times at n_points."""
+    """Sample a cumulative count of sorted-ish event times at n_points.
+
+    The Figure 3 primitive, shared by :class:`DetailSink` (live runs) and
+    :class:`repro.analysis.trace.ConflictTimeline` (recorded traces) so
+    both paths bin identically.
+    """
     if horizon <= 0:
         horizon = max(times, default=1)
     ordered = sorted(times)
@@ -517,6 +564,10 @@ def _cumulative(
             idx += 1
         out.append((t, idx))
     return out
+
+
+#: Backwards-compatible private alias (pre-facade name).
+_cumulative = cumulative_series
 
 
 SUMMARY_KEYS = (

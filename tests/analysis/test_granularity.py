@@ -1,9 +1,9 @@
-"""Open-loop trace analysis tests (the Figure 8 method)."""
+"""Open-loop granularity replay tests (the Figure 8 method)."""
 
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.analysis.traceanalysis import (
+from repro.analysis.granularity import (
     conflict_survives,
     reduction_by_granularity,
     surviving_false,
@@ -29,6 +29,20 @@ def rec(req_mask, vr=0, vw=0, is_write=True):
         victim_read_mask=vr,
         victim_write_mask=vw,
     )
+
+
+def test_traceanalysis_shim_warns_and_reexports():
+    import importlib
+    import sys
+    import warnings
+
+    sys.modules.pop("repro.analysis.traceanalysis", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.analysis.traceanalysis")
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert shim.conflict_survives is conflict_survives
+    assert shim.reduction_by_granularity is reduction_by_granularity
 
 
 class TestConflictSurvives:

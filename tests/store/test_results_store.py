@@ -174,3 +174,58 @@ class TestManifest:
             fh.write("{half a manifest")
         assert store.read_manifest() is None
         store.close()
+
+
+class TestEntriesAndPrune:
+    def fill_specs(self, tmp_path, n=4):
+        specs = [make_spec(seed=s, label=f"s{s}") for s in range(1, n + 1)]
+        with ResultsStore(tmp_path) as store:
+            for spec in specs:
+                store.record(spec, run_one(spec))
+        return specs
+
+    def test_entries_lists_stored_runs(self, tmp_path):
+        specs = self.fill_specs(tmp_path)
+        with ResultsStore(tmp_path) as store:
+            entries = store.entries()
+        assert [e.label for e in entries] == ["s1", "s2", "s3", "s4"]
+        assert [e.seed for e in entries] == [1, 2, 3, 4]
+        assert all(e.workload == "kmeans" for e in entries)
+        assert all(e.commits > 0 and e.execution_cycles > 0 for e in entries)
+        assert {e.key for e in entries} == {spec_key(s) for s in specs}
+
+    def test_prune_keep_last(self, tmp_path):
+        self.fill_specs(tmp_path)
+        with ResultsStore(tmp_path) as store:
+            assert store.prune(keep=2) == 2
+            assert [e.label for e in store.entries()] == ["s3", "s4"]
+        # The compaction survives a reopen and the log really shrank.
+        with ResultsStore(tmp_path) as store:
+            assert len(store) == 2
+        with open(os.path.join(tmp_path, "results.jsonl"), encoding="utf-8") as fh:
+            assert len(fh.readlines()) == 2
+
+    def test_prune_predicate(self, tmp_path):
+        self.fill_specs(tmp_path)
+        with ResultsStore(tmp_path) as store:
+            removed = store.prune(predicate=lambda e: e.seed != 2)
+            assert removed == 1
+            assert [e.seed for e in store.entries()] == [1, 3, 4]
+
+    def test_prune_noop_and_validation(self, tmp_path):
+        self.fill_specs(tmp_path, n=2)
+        with ResultsStore(tmp_path) as store:
+            assert store.prune() == 0
+            assert store.prune(keep=10) == 0
+            with pytest.raises(ValueError):
+                store.prune(keep=-1)
+
+    def test_store_appendable_after_prune(self, tmp_path):
+        specs = self.fill_specs(tmp_path, n=3)
+        with ResultsStore(tmp_path) as store:
+            store.prune(keep=1)
+            extra = make_spec(seed=9, label="s9")
+            assert store.record(extra, run_one(extra))
+        with ResultsStore(tmp_path) as store:
+            assert [e.label for e in store.entries()] == ["s3", "s9"]
+            assert store.read_manifest()["entries"] == 2

@@ -115,10 +115,15 @@ class TestJsonlTraceSink:
         drive(sink)
         lines = [json.loads(ln) for ln in path.read_text().splitlines()]
         kinds = [ln["event"] for ln in lines]
-        # Accesses are gated off by default; everything else streams.
+        # The first line is the versioned schema header, then the events;
+        # accesses are gated off by default, everything else streams.
         assert "access" not in kinds
-        assert kinds[0] == "txn_start" and kinds[-1] == "run_complete"
-        assert sink.events_written == len(lines)
+        assert kinds[0] == "trace_header"
+        assert lines[0]["schema"] == "repro-asf-trace"
+        assert lines[0]["major"] == 1
+        assert kinds[1] == "txn_start" and kinds[-1] == "run_complete"
+        # events_written counts events only, not the header line.
+        assert sink.events_written == len(lines) - 1
         # Inner sink accumulated normally and proxies through the wrapper.
         assert inner.txn_commits == 1
         assert sink.txn_commits == 1
@@ -132,12 +137,21 @@ class TestJsonlTraceSink:
         kinds = [json.loads(ln)["event"] for ln in path.read_text().splitlines()]
         assert kinds.count("access") == 2
 
+    def test_header_carries_metadata(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlTraceSink(str(path), metadata={"scheme": "asf", "seed": 7})
+        sink.close()
+        (header,) = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert header["event"] == "trace_header"
+        assert header["metadata"] == {"scheme": "asf", "seed": 7}
+        assert header["trace_accesses"] is False
+
     def test_conflict_line_is_faithful(self, tmp_path):
         path = tmp_path / "events.jsonl"
         sink = JsonlTraceSink(str(path))
         sink.on_conflict(rec(forced_waw=True))
         sink.close()
-        (line,) = [json.loads(ln) for ln in path.read_text().splitlines()]
+        _, line = [json.loads(ln) for ln in path.read_text().splitlines()]
         assert line["ctype"] == "WAR"
         assert line["is_false"] is True
         assert line["forced_waw"] is True

@@ -17,6 +17,10 @@ class TestParser:
             ["ablate", "genome"],
             ["save-scripts", "ssca2", "x.jsonl"],
             ["replay", "x.jsonl"],
+            ["trace", "kmeans", "x.jsonl"],
+            ["analyze", "x.jsonl", "--fig", "3", "--fig", "4"],
+            ["store", "ls", "somedir"],
+            ["store", "gc", "somedir", "--keep-last", "5"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -69,6 +73,83 @@ class TestCommands:
 
         assert repro.__version__
         assert "vacation" in repro.BENCHMARK_NAMES
+
+
+class TestTraceAnalyze:
+    def test_trace_then_analyze(self, tmp_path, capsys):
+        path = str(tmp_path / "ev.jsonl")
+        assert main(["trace", "kmeans", path, "--txns", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "schema repro-asf-trace v1" in out
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "Trace-derived run counters" in out
+        assert "Figure 3" in out and "Figure 4" in out and "Figure 5" in out
+        assert "Forensics report" in out
+
+    def test_analyze_fig_selection(self, tmp_path, capsys):
+        path = str(tmp_path / "ev.jsonl")
+        assert main(["trace", "kmeans", path, "--txns", "30"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", path, "--fig", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 3" not in out
+
+    def test_analyze_out_dir(self, tmp_path, capsys):
+        path = str(tmp_path / "ev.jsonl")
+        outdir = tmp_path / "figs"
+        assert main(["trace", "kmeans", path, "--txns", "30"]) == 0
+        assert main(["analyze", path, "--out", str(outdir)]) == 0
+        names = sorted(p.name for p in outdir.iterdir())
+        assert names == ["fig3.tsv", "fig4.tsv", "fig5.tsv", "report.txt"]
+        assert "Forensics report" in (outdir / "report.txt").read_text()
+        header, *rows = (outdir / "fig4.tsv").read_text().splitlines()
+        assert header.split("\t") == ["line_index", "line_addr",
+                                      "false_conflicts"]
+
+    def test_analyze_rejects_non_trace_file(self, tmp_path):
+        from repro.errors import ConfigError
+
+        path = tmp_path / "not_a_trace.jsonl"
+        path.write_text('{"benchmark":"x"}\n')
+        with pytest.raises(ConfigError, match="no trace schema header"):
+            main(["analyze", str(path)])
+
+    def test_run_trace_dir_records_and_analyzes(self, tmp_path, capsys):
+        trd = tmp_path / "traces"
+        assert main(["run", "ssca2", "--txns", "10",
+                     "--trace-dir", str(trd)]) == 0
+        out = capsys.readouterr().out
+        assert "3 traces recorded and analyzed" in out
+        names = sorted(p.name for p in trd.iterdir())
+        assert names == [
+            "ssca2_asf.jsonl", "ssca2_asf.report.txt",
+            "ssca2_perfect.jsonl", "ssca2_perfect.report.txt",
+            "ssca2_subblock.jsonl", "ssca2_subblock.report.txt",
+        ]
+        report = (trd / "ssca2_subblock.report.txt").read_text()
+        assert "Forensics report" in report
+
+
+class TestStoreCommands:
+    def test_ls_and_gc(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "store")
+        assert main(["run", "ssca2", "--txns", "10", "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "3 stored runs" in out and "subblock" in out
+        assert main(["store", "gc", ckpt, "--keep-last", "1"]) == 0
+        assert "removed 2, kept 1" in capsys.readouterr().out
+        assert main(["store", "ls", ckpt]) == 0
+        assert "1 stored runs" in capsys.readouterr().out
+
+    def test_gc_scheme_filter(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "store")
+        assert main(["run", "ssca2", "--txns", "10", "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", ckpt, "--scheme", "perfect"]) == 0
+        assert "removed 1, kept 2" in capsys.readouterr().out
 
 
 class TestCheckpoint:
