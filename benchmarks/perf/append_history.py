@@ -34,9 +34,16 @@ def git_sha() -> str:
 
 def history_line(report: dict) -> dict:
     hp = report.get("hot_path", {})
+    ker = report.get("kernel", {})
     par = report.get("parallel", {})
     tr = report.get("transfer", {})
     fig = report.get("figure_pipeline", {})
+    # ``hot_path_acc_per_sec`` is the long-lived gate metric name; it now
+    # reads the array-kernel engine throughput (falling back to the
+    # pre-kernel key so old reports still append cleanly).
+    hot = hp.get("kernel_array_accesses_per_sec")
+    if hot is None:
+        hot = hp.get("optimized_accesses_per_sec")
     return {
         "sha": git_sha(),
         "utc": datetime.datetime.now(datetime.timezone.utc).strftime(
@@ -45,8 +52,10 @@ def history_line(report: dict) -> dict:
         "quick": report.get("meta", {}).get("quick"),
         "cpu_count": report.get("meta", {}).get("cpu_count"),
         "python": report.get("meta", {}).get("python"),
-        "hot_path_acc_per_sec": hp.get("optimized_accesses_per_sec"),
+        "hot_path_acc_per_sec": hot,
         "hot_path_speedup": hp.get("speedup"),
+        "kernel_replay_acc_per_sec": ker.get("kernel_array_accesses_per_sec"),
+        "kernel_speedup": ker.get("speedup"),
         "parallel_speedup": par.get("speedup"),
         "transfer_speedup": tr.get("speedup"),
         "transfer_payload_ratio": tr.get("payload_ratio"),

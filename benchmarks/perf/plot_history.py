@@ -36,6 +36,8 @@ GATE_DROP = 0.20
 TREND_METRICS = (
     "hot_path_acc_per_sec",
     "hot_path_speedup",
+    "kernel_replay_acc_per_sec",
+    "kernel_speedup",
     "parallel_speedup",
     "transfer_speedup",
     "simulate_seconds",

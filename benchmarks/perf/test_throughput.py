@@ -61,6 +61,35 @@ def test_sharer_index_counters_identical():
     assert fast.summary() == slow.summary()
 
 
+def _run_kernel(cfg, scripts, *, kernel: str):
+    return SimulationEngine(
+        cfg.with_kernel(kernel), scripts, seed=5,
+        check_atomicity=False, record_detail=False,
+    ).run()
+
+
+def test_array_kernel_throughput(benchmark):
+    """Contended run on the flat-array kernel (the default)."""
+    _, cfg, scripts = _contended_scripts()
+    stats = benchmark(lambda: _run_kernel(cfg, scripts, kernel="array"))
+    assert stats.txn_commits == cfg.n_cores * 30
+
+
+def test_object_kernel_throughput(benchmark):
+    """Same run on the reference object model, for comparison."""
+    _, cfg, scripts = _contended_scripts()
+    stats = benchmark(lambda: _run_kernel(cfg, scripts, kernel="object"))
+    assert stats.txn_commits == cfg.n_cores * 30
+
+
+def test_kernel_counters_identical():
+    """The kernel changes the representation, never the simulated run."""
+    _, cfg, scripts = _contended_scripts()
+    arr = _run_kernel(cfg, scripts, kernel="array")
+    obj = _run_kernel(cfg, scripts, kernel="object")
+    assert arr.summary() == obj.summary()
+
+
 def test_detail_off_throughput(benchmark):
     """Counter-only stats recording on an uncontended run."""
     w = SyntheticWorkload(txns_per_core=25, n_records=4096, hot_fraction=0.0)

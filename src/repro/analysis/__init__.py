@@ -9,9 +9,6 @@
   benchmarks under all three systems and caches the results;
 * :mod:`repro.analysis.report` — ASCII rendering and EXPERIMENTS.md
   generation.
-
-:mod:`repro.analysis.traceanalysis` is a deprecated alias for
-:mod:`repro.analysis.granularity`.
 """
 
 from repro.analysis.experiments import SuiteResults, run_suite

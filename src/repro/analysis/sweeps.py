@@ -137,6 +137,7 @@ def ablation_forced_waw(
     workload: Workload,
     seed: int = 1,
     n_subblocks: int = 4,
+    config: SystemConfig | None = None,
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
@@ -147,7 +148,9 @@ def ablation_forced_waw(
     the delta between these two runs is exactly what that acceptance
     costs on a given workload.
     """
-    base = default_system(DetectionScheme.SUBBLOCK, n_subblocks)
+    base = (config if config is not None else default_system()).with_scheme(
+        DetectionScheme.SUBBLOCK, n_subblocks
+    )
     relaxed_cfg = replace(base, htm=replace(base.htm, forced_waw_abort=False))
     with_rule, without_rule = _run_points(
         workload,
@@ -164,6 +167,7 @@ def ablation_dirty_state(
     workload: Workload,
     seed: int = 1,
     n_subblocks: int = 4,
+    config: SystemConfig | None = None,
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
@@ -171,7 +175,9 @@ def ablation_dirty_state(
     """Dirty handling on vs off; the off variant also reports how many
     atomicity violations the checker found (it is *incorrect* hardware,
     not merely slower)."""
-    base = default_system(DetectionScheme.SUBBLOCK, n_subblocks)
+    base = (config if config is not None else default_system()).with_scheme(
+        DetectionScheme.SUBBLOCK, n_subblocks
+    )
     off_cfg = replace(base, htm=replace(base.htm, dirty_state_enabled=False))
     specs = [
         RunSpec(

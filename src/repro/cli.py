@@ -46,7 +46,7 @@ from repro.analysis.sweeps import (
     ablation_forced_waw,
     sweep_subblocks,
 )
-from repro.config import DetectionScheme, SystemConfig, default_system
+from repro.config import KERNELS, DetectionScheme, SystemConfig, default_system
 from repro.core.overhead import OverheadModel
 from repro.sim.runner import compare_systems, compare_systems_seeds, run_scripts
 from repro.telemetry import aggregate_metrics
@@ -186,6 +186,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             by_scheme = compare_systems_seeds(
                 workload, seeds, n_subblocks=args.subblocks,
+                config=default_system().with_kernel(args.kernel),
                 check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
                 store=store, on_result=progress, trace_dir=args.trace_dir,
             )
@@ -223,6 +224,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         results = compare_systems(
             workload, seed=args.seed, n_subblocks=args.subblocks,
+            config=default_system().with_kernel(args.kernel),
             check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
             store=store, on_result=progress, trace_dir=args.trace_dir,
         )
@@ -249,6 +251,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         progress = _ProgressLine(n_suite)
         suite = run_suite(
             txns_per_core=args.txns, seed=args.seed, jobs=args.jobs,
+            config=default_system().with_kernel(args.kernel),
             store=store, on_result=progress, trace_dir=args.trace_dir,
         )
         progress.finish()
@@ -258,6 +261,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             progress = _ProgressLine(n_suite * len(seeds))
             sweep = run_seed_sweep(
                 txns_per_core=args.txns, seeds=seeds, jobs=args.jobs,
+                config=default_system().with_kernel(args.kernel),
                 store=store, on_result=progress,
             )
             progress.finish()
@@ -277,7 +281,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
     cfg = default_system(
         DetectionScheme(args.scheme), args.subblocks
-    ).with_telemetry(
+    ).with_kernel(args.kernel).with_telemetry(
         sink="trace", trace_path=args.path, trace_accesses=args.accesses,
     )
     res = run_workload(workload, cfg, seed=args.seed, check_atomicity=False)
@@ -388,6 +392,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         points = sweep_subblocks(
             workload, counts=counts, seed=args.seed, jobs=args.jobs,
+            config=default_system().with_kernel(args.kernel),
             store=store, on_result=progress,
         )
     finally:
@@ -418,8 +423,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_ablate(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
-    on, off = ablation_dirty_state(workload, seed=args.seed, jobs=args.jobs)
-    with_rule, without = ablation_forced_waw(workload, seed=args.seed, jobs=args.jobs)
+    cfg = default_system().with_kernel(args.kernel)
+    on, off = ablation_dirty_state(
+        workload, seed=args.seed, config=cfg, jobs=args.jobs
+    )
+    with_rule, without = ablation_forced_waw(
+        workload, seed=args.seed, config=cfg, jobs=args.jobs
+    )
     print(
         format_table(
             ("variant", "commits", "conflicts", "cycles", "violations"),
@@ -458,7 +468,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         DetectionScheme.ASF_BASELINE, DetectionScheme.SUBBLOCK,
         DetectionScheme.PERFECT,
     ):
-        cfg = default_system(scheme, args.subblocks)
+        cfg = default_system(scheme, args.subblocks).with_kernel(args.kernel)
         results[scheme.value] = run_scripts(
             scripts, cfg, args.seed, workload_name=args.path,
             check_atomicity=args.check,
@@ -492,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("benchmark", choices=BENCHMARK_NAMES)
         p.add_argument("--txns", type=int, default=200)
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--kernel", choices=KERNELS, default="array",
+            help="machine kernel implementation: the flat-array default or "
+            "the reference object model (bit-identical results)",
+        )
         p.add_argument(
             "--jobs", "-j", type=int, default=1,
             help="worker processes for independent runs "
@@ -612,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay = sub.add_parser("replay", help="simulate a serialized program")
     p_replay.add_argument("path")
     p_replay.add_argument("--seed", type=int, default=1)
+    p_replay.add_argument(
+        "--kernel", choices=KERNELS, default="array",
+        help="machine kernel implementation: the flat-array default or "
+        "the reference object model (bit-identical results)",
+    )
     p_replay.add_argument("--subblocks", type=int, default=4)
     p_replay.add_argument("--check", action="store_true")
     p_replay.add_argument("--all-schemes", action="store_true")

@@ -26,6 +26,7 @@ __all__ = [
     "ConflictResolution",
     "DetectionScheme",
     "HtmConfig",
+    "KERNELS",
     "LatencyConfig",
     "SystemConfig",
     "TABLE2_DESCRIPTION",
@@ -35,6 +36,9 @@ __all__ = [
 
 #: Valid values of :attr:`TelemetryConfig.sink`.
 TELEMETRY_SINKS = ("auto", "counters", "detail", "trace")
+
+#: Valid values of :attr:`SystemConfig.kernel`.
+KERNELS = ("object", "array")
 
 
 class ConflictResolution(enum.Enum):
@@ -236,10 +240,17 @@ class SystemConfig:
     htm: HtmConfig = field(default_factory=HtmConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     track_values: bool = True
+    # Which machine implementation the engine builds: "array" is the
+    # flat struct-of-arrays kernel (:mod:`repro.kernel`), "object" the
+    # per-line object model it mirrors bit-for-bit.  Both produce
+    # identical telemetry — the kernel-parity suite asserts it.
+    kernel: str = "array"
 
     def __post_init__(self) -> None:
         if self.n_cores <= 0:
             raise ConfigError(f"n_cores must be positive, got {self.n_cores}")
+        if self.kernel not in KERNELS:
+            raise ConfigError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
         if not (self.l1.line_size == self.l2.line_size == self.l3.line_size):
             raise ConfigError("all cache levels must share one line size")
         if self.htm.scheme is DetectionScheme.SUBBLOCK:
@@ -277,6 +288,10 @@ class SystemConfig:
     def with_telemetry(self, **overrides) -> "SystemConfig":
         """A copy with telemetry fields overridden (same machine)."""
         return replace(self, telemetry=replace(self.telemetry, **overrides))
+
+    def with_kernel(self, kernel: str) -> "SystemConfig":
+        """A copy running on a different machine kernel (same semantics)."""
+        return replace(self, kernel=kernel)
 
     def describe(self) -> str:
         """Human-readable machine description (regenerates Table II)."""

@@ -1,0 +1,30 @@
+"""Flat struct-of-arrays machine kernel (see :mod:`repro.kernel.state`).
+
+Two interchangeable machine implementations exist:
+
+* ``kernel="object"`` — :class:`repro.htm.machine.HtmMachine`, the per-line
+  object model (dict-of-``CacheLine`` + ``SpecLineState`` side tables);
+* ``kernel="array"`` — :class:`repro.kernel.machine.ArrayKernelMachine`,
+  the same protocol on preallocated flat arrays (the default: ~an order
+  of magnitude faster on the per-access hot path).
+
+:func:`build_machine` picks one from :attr:`SystemConfig.kernel`; both
+emit bit-identical telemetry (asserted by the kernel-parity suite), so
+everything above the machine — engine, runner, analysis — is agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.htm.machine import HtmMachine
+from repro.kernel.machine import ArrayKernelMachine
+from repro.kernel.state import SimState
+
+__all__ = ["ArrayKernelMachine", "SimState", "build_machine"]
+
+
+def build_machine(config: SystemConfig, **kwargs) -> HtmMachine:
+    """Construct the machine implementation selected by ``config.kernel``."""
+    if config.kernel == "array":
+        return ArrayKernelMachine(config, **kwargs)
+    return HtmMachine(config, **kwargs)

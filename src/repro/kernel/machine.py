@@ -1,0 +1,922 @@
+"""The flat-array machine kernel.
+
+:class:`ArrayKernelMachine` is a drop-in :class:`~repro.htm.machine.HtmMachine`
+whose hot path runs entirely on :class:`~repro.kernel.state.SimState`
+arrays: no :class:`CacheLine` objects, no :class:`SpecLineState` side
+tables, no MOESI enum dispatch, no detector method calls per access.  The
+detection scheme's record/check/piggy-back rules are inlined as integer
+mask arithmetic specialised once at construction time from the config.
+
+It is a *bit-exact mirror* of the object machine — same telemetry events
+in the same order, same latencies, same conflict records, same LRU and
+probe delivery order — which the kernel-parity grid and the hypothesis
+replay suite assert.  Anything off the hot path (``commit``,
+``begin_txn``, read-set validation, uid allocation) is inherited from the
+base class unchanged; the base delegates its representation-touching steps
+to the private methods overridden here (``_abort``,
+``_release_spec_lines``), so both kernels share one control flow for the
+cold transactional lifecycle.
+
+Parity-critical mirroring rules (each encodes an observable behaviour of
+the object model — change them only together with the object path):
+
+* L1 LRU: the touch-on-lookup move happens only for *valid* lines, at the
+  top of the per-line access;
+* write miss: fetch (emitting ``on_fill``) before invalidating remotes;
+* probe targets visit in round-robin order starting after the requester;
+  every other remote walk (invalidate, demote, piggy-back, remote-spec
+  collection) visits ascending core ids;
+* a set may grow ``SPEC_OVERFLOW_WAYS`` beyond nominal associativity to
+  host pinned speculative lines before a capacity abort fires;
+* non-transactional accesses to a fully pinned set bypass the cache at
+  memory latency without emitting ``on_access``.
+"""
+
+from __future__ import annotations
+
+from repro.config import ConflictResolution, DetectionScheme, SystemConfig
+from repro.errors import ProtocolError
+from repro.htm.conflict import ConflictRecord, classify_type
+from repro.htm.machine import (
+    SPEC_OVERFLOW_WAYS,
+    AccessOutcome,
+    HtmMachine,
+    _RequesterAborted,
+)
+from repro.htm.txn import AbortCause, Transaction
+from repro.kernel.state import (
+    MOESI_E,
+    MOESI_I,
+    MOESI_M,
+    MOESI_O,
+    MOESI_S,
+    NON_INVALIDATING_NEXT,
+    SimState,
+)
+from repro.mem.address import WORD_SIZE
+from repro.telemetry.events import EventSink
+from repro.util.bitops import reduce_mask
+
+__all__ = ["ArrayKernelMachine"]
+
+#: offset -> word index shift (WORD_SIZE is a power of two).
+_WSHIFT = WORD_SIZE.bit_length() - 1
+
+
+class ArrayKernelMachine(HtmMachine):
+    """HtmMachine with the per-access path rewired onto SimState arrays."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: EventSink | None = None,
+        checker=None,
+        detector=None,
+        use_sharer_index: bool = True,
+    ) -> None:
+        if detector is not None:
+            raise ProtocolError(
+                "the array kernel inlines the configured detection scheme; "
+                "custom detector objects need kernel='object'"
+            )
+        super().__init__(
+            config, stats=stats, checker=checker, use_sharer_index=use_sharer_index
+        )
+        self.state = SimState(config)
+        scheme = config.htm.scheme
+        # Scheme specialisation: which family of inlined mask rules runs.
+        self._sub = scheme in (DetectionScheme.SUBBLOCK, DetectionScheme.PERFECT)
+        self._decoupled = scheme is DetectionScheme.DECOUPLED
+        if scheme is DetectionScheme.SUBBLOCK:
+            self._n_sub = config.htm.n_subblocks
+            self._dirty_en = config.htm.dirty_state_enabled
+            self._forced_waw = config.htm.forced_waw_abort
+        elif scheme is DetectionScheme.PERFECT:
+            self._n_sub = config.line_size
+            self._dirty_en = True
+            self._forced_waw = False
+        else:
+            self._n_sub = 1
+            self._dirty_en = False
+            self._forced_waw = False
+        self._sub_memo: dict[int, int] = {}
+        self._older_wins = config.htm.resolution is ConflictResolution.OLDER_WINS
+        lat = config.latency
+        self._lat_l1 = lat.l1_hit
+        self._lat_l2 = lat.l2_hit
+        self._lat_l3 = lat.l3_hit
+        self._lat_mem = lat.memory
+        self._lat_c2c = lat.cache_to_cache
+        self._lat_upgrade = lat.l1_hit + lat.cache_to_cache // 2
+        self._line_size = config.line_size
+        self._offset_mask = config.line_size - 1
+        self._wpl = self.amap.words_per_line
+        # Bound-method caches for the per-access hot path (the sink is
+        # fixed at construction; attach_access_log wraps ``access``, not
+        # the sink, so this cannot go stale).
+        self._on_access = self.sink.on_access
+
+    # ------------------------------------------------------------------ helpers
+
+    def _subblocks(self, mask: int) -> int:
+        """Byte mask -> packed sub-block mask, memoized per machine."""
+        memo = self._sub_memo
+        sub = memo.get(mask)
+        if sub is None:
+            sub = reduce_mask(mask, self._line_size, self._n_sub)
+            memo[mask] = sub
+        return sub
+
+    def _ensure_entry(self, core: int, li: int) -> None:
+        """Create the (zeroed) side-state slot for ``(core, li)``.
+
+        Mirrors ``_spec_state`` creating a fresh ``SpecLineState``: slots
+        are zero-on-create (discard only clears the membership bit; every
+        plane read is membership-guarded, so stale values are inert).
+        """
+        s = self.state
+        s.spec_mask[li] |= 1 << core
+        s.rmask[core][li] = 0
+        s.wmask[core][li] = 0
+        s.spec[core][li] = 0
+        s.wr[core][li] = 0
+        s.rr[core][li] = 0
+        s.sowner[core][li] = -1
+
+    def _any_spec(self, core: int, li: int) -> bool:
+        """SpecLineState.any_spec on planes (membership already checked)."""
+        s = self.state
+        if self._sub:
+            return s.spec[core][li] != 0
+        return s.rmask[core][li] != 0 or s.wmask[core][li] != 0
+
+    def _remove_l1(self, core: int, li: int) -> None:
+        """Valid-copy removal bookkeeping shared by evict/drop/invalidate."""
+        s = self.state
+        if s.moesi[core][li] != MOESI_I:
+            s.moesi[core][li] = MOESI_I
+            s.holders[li] &= ~(1 << core)
+            if s.owner[li] == core:
+                s.owner[li] = -1
+
+    # ------------------------------------------------------------------ access
+
+    def access(
+        self, core: int, addr: int, size: int, is_write: bool, time: int
+    ) -> AccessOutcome:
+        offset = addr & self._offset_mask
+        if offset + size <= self._line_size and size > 0:
+            # Single-line access (every workload access in practice).
+            # Attempt the no-traffic exit first: a valid L1 hit that needs
+            # neither a probe nor a fill — a read of reliable data, or a
+            # silent store on an M/E copy.  All conditions are checked
+            # before any state is touched, so falling through to the full
+            # path is side-effect free.
+            s = self.state
+            line_addr = addr - offset
+            li = s.intern_map.get(line_addr)
+            txn = self.active[core]
+            if li is not None:
+                moesi_c = s.moesi[core]
+                code = moesi_c[li]
+                if code and not (is_write and code < MOESI_E):
+                    mask = ((1 << size) - 1) << offset
+                    fast = True
+                    sub = -1
+                    if self._dirty_en and (s.spec_mask[li] >> core) & 1:
+                        dirty = s.wr[core][li] & ~s.spec[core][li]
+                        if is_write:
+                            if dirty:
+                                fast = False
+                            else:
+                                rrb = s.rr[core][li]
+                                if rrb:
+                                    sub = self._subblocks(mask)
+                                    fast = (sub & rrb) == 0
+                        elif dirty:
+                            sub = self._subblocks(mask)
+                            fast = (sub & dirty) == 0
+                    if fast:
+                        if txn is None and not is_write:
+                            # Non-transactional read hit: the only work is
+                            # the LRU touch and the telemetry event.
+                            set_d = s.l1_sets[core][s.set1[li]]
+                            del set_d[li]
+                            set_d[li] = None
+                            self._on_access(core, line_addr, offset, False, True)
+                            out = AccessOutcome.__new__(AccessOutcome)
+                            out.latency = self._lat_l1
+                            out.hit_l1 = True
+                            out.conflicts = []
+                            out.self_abort = None
+                            out.dirty_reprobe = False
+                            return out
+                        return self._hit_fast(
+                            core, li, line_addr, offset, size, mask, sub,
+                            is_write, code, txn,
+                        )
+            return self._access_line(
+                core, line_addr, offset, size, is_write, time, txn
+            )
+        txn = self.active[core]
+        total = AccessOutcome(latency=0, hit_l1=True)
+        for chunk in self.amap.split(addr, size):
+            out = self._access_line(
+                core, chunk.line_addr, chunk.offset, chunk.size, is_write, time, txn
+            )
+            total.latency += out.latency
+            total.hit_l1 = total.hit_l1 and out.hit_l1
+            total.conflicts.extend(out.conflicts)
+            total.dirty_reprobe = total.dirty_reprobe or out.dirty_reprobe
+            if out.self_abort is not None:
+                total.self_abort = out.self_abort
+                break
+        return total
+
+    def _hit_fast(
+        self,
+        core: int,
+        li: int,
+        line_addr: int,
+        offset: int,
+        size: int,
+        mask: int,
+        sub: int,
+        is_write: bool,
+        code: int,
+        txn: Transaction | None,
+    ) -> AccessOutcome:
+        """The no-traffic L1 hit: LRU touch, bookkeeping, data, one event.
+
+        Caller has already established: resident valid copy, silently
+        writable if a store, data reliable, no retained-remote-speculation
+        probe needed.  Mirrors exactly the hit legs of ``_access_line``.
+        """
+        s = self.state
+        set_d = s.l1_sets[core][s.set1[li]]
+        del set_d[li]
+        set_d[li] = None
+        if is_write and code != MOESI_M:
+            s.moesi[core][li] = MOESI_M
+        if txn is not None:
+            if not (s.spec_mask[li] >> core) & 1:
+                self._ensure_entry(core, li)
+            sowner_c = s.sowner[core]
+            so = sowner_c[li]
+            uid = txn.uid
+            if so == -1:
+                sowner_c[li] = uid
+            elif so != uid:
+                raise ProtocolError(
+                    f"stale speculative state on line {line_addr:#x} "
+                    f"(owner {so}, txn {uid})"
+                )
+            if self._sub:
+                if sub < 0:
+                    sub = self._subblocks(mask)
+                spec_c = s.spec[core]
+                wr_c = s.wr[core]
+                if is_write:
+                    s.wmask[core][li] |= mask
+                    spec_c[li] |= sub
+                    wr_c[li] |= sub
+                    txn.write_lines.add(line_addr)
+                else:
+                    s.rmask[core][li] |= mask
+                    swr = spec_c[li] & wr_c[li]
+                    spec_c[li] |= sub
+                    wr_c[li] = (wr_c[li] & ~sub) | (swr & sub)
+                    txn.read_lines.add(line_addr)
+            elif is_write:
+                s.wmask[core][li] |= mask
+                txn.write_lines.add(line_addr)
+            else:
+                s.rmask[core][li] |= mask
+                txn.read_lines.add(line_addr)
+            s.pinned[core][li] = 1
+        if is_write:
+            data_line = s.data[core][li]
+            w0 = offset >> _WSHIFT
+            w1 = (offset + size - 1) >> _WSHIFT
+            tokens = self.tokens
+            if txn is not None:
+                t_uid = txn.uid
+                redo = txn.redo
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    token = tokens.allocate(t_uid, word_addr)
+                    redo[word_addr] = token
+                    data_line[wi] = token
+            else:
+                memory = self.mem.memory
+                versions = self.versions
+                checker = self.checker
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    self._txn_uid += 1
+                    uid = self._txn_uid
+                    token = tokens.allocate(uid, word_addr)
+                    versions.on_commit(uid)
+                    memory[word_addr] = token
+                    if checker is not None:
+                        checker.record_plain_write(word_addr, token)
+                    data_line[wi] = token
+        elif txn is not None:
+            data_line = s.data[core][li]
+            w0 = offset >> _WSHIFT
+            w1 = (offset + size - 1) >> _WSHIFT
+            redo = txn.redo
+            observed = txn.observed
+            checker = self.checker
+            for wi in range(w0, w1 + 1):
+                word_addr = line_addr + wi * WORD_SIZE
+                token = redo.get(word_addr)
+                if token is None:
+                    token = data_line[wi]
+                    if word_addr not in observed:
+                        observed[word_addr] = token
+                        if checker is not None:
+                            checker.observe_read(txn, word_addr, token)
+        self._on_access(core, line_addr, offset, is_write, True)
+        out = AccessOutcome.__new__(AccessOutcome)
+        out.latency = self._lat_l1
+        out.hit_l1 = True
+        out.conflicts = []
+        out.self_abort = None
+        out.dirty_reprobe = False
+        return out
+
+    def _access_line(
+        self,
+        core: int,
+        line_addr: int,
+        offset: int,
+        size: int,
+        is_write: bool,
+        time: int,
+        txn: Transaction | None,
+    ) -> AccessOutcome:
+        s = self.state
+        li = s.intern_map.get(line_addr)
+        if li is None:
+            li = s.add_line(line_addr)
+        moesi_c = s.moesi[core]
+        code = moesi_c[li]
+        set_d = s.l1_sets[core][s.set1[li]]
+        mask = ((1 << size) - 1) << offset
+        bit = 1 << core
+        valid = code != MOESI_I
+        if valid:
+            # LRU touch (only valid lookups move to MRU).
+            del set_d[li]
+            set_d[li] = None
+        member = (s.spec_mask[li] & bit) != 0
+
+        stale = False
+        force_probe = False
+        sub = -1  # lazily reduced sub-block mask of this access
+        if member and valid and self._dirty_en:
+            dirty = s.wr[core][li] & ~s.spec[core][li]
+            if is_write:
+                stale = dirty != 0
+                if stale:
+                    force_probe = True
+                else:
+                    rrb = s.rr[core][li]
+                    if rrb:
+                        sub = self._subblocks(mask)
+                        force_probe = (sub & rrb) != 0
+            elif dirty:
+                sub = self._subblocks(mask)
+                stale = (sub & dirty) != 0
+                force_probe = stale
+        if force_probe:
+            self.sink.on_dirty_reprobe(core, line_addr, time)
+
+        out = AccessOutcome.__new__(AccessOutcome)
+        out.latency = 0
+        out.hit_l1 = False
+        out.conflicts = []
+        out.self_abort = None
+        out.dirty_reprobe = force_probe
+        filled = False
+        probed = False
+        piggy = 0
+
+        if is_write:
+            if valid and code >= MOESI_E and not force_probe:
+                # Silent store: M stays M, E upgrades to M without traffic.
+                moesi_c[li] = MOESI_M
+                out.latency += self._lat_l1
+                out.hit_l1 = True
+            else:
+                probed = True
+                try:
+                    recs = self._probe(core, li, line_addr, mask, True, time, txn, True)
+                except _RequesterAborted as aborted:
+                    out.conflicts.extend(aborted.records)
+                    out.self_abort = aborted.cause
+                    return out
+                if recs:
+                    out.conflicts.extend(recs)
+                if valid and not stale:
+                    # Ownership upgrade -> M with a probe; data already
+                    # local and clean.
+                    self._invalidate_remote_copies(core, li)
+                    moesi_c[li] = MOESI_M
+                    s.owner[li] = core
+                    out.latency += self._lat_upgrade
+                    out.hit_l1 = True
+                else:
+                    data, fill_lat, piggy = self._fetch(core, li, line_addr)
+                    self._invalidate_remote_copies(core, li)
+                    if not self._fill(core, li, MOESI_M, data, txn):
+                        return self._capacity_bypass_or_abort(core, time, out)
+                    out.latency += fill_lat
+                    filled = True
+        else:
+            if valid and not stale:
+                out.latency += self._lat_l1
+                out.hit_l1 = True
+            else:
+                probed = True
+                try:
+                    recs = self._probe(core, li, line_addr, mask, False, time, txn, False)
+                except _RequesterAborted as aborted:
+                    out.conflicts.extend(aborted.records)
+                    out.self_abort = aborted.cause
+                    return out
+                if recs:
+                    out.conflicts.extend(recs)
+                data, fill_lat, piggy = self._fetch(core, li, line_addr)
+                self._demote_remote_copies(core, li)
+                had_sharers = (s.holders[li] & ~bit) != 0
+                new_code = MOESI_S if had_sharers else MOESI_E
+                if not self._fill(core, li, new_code, data, txn):
+                    return self._capacity_bypass_or_abort(core, time, out)
+                out.latency += fill_lat
+                filled = True
+
+        if moesi_c[li] == MOESI_I:  # pragma: no cover - fill guarantees
+            raise ProtocolError(f"line {line_addr:#x} not resident after access")
+
+        if probed and self._sub:
+            # Snapshot which sub-blocks other running transactions still
+            # hold speculative state on (probe survivors); see
+            # SpecLineState.rr_bits.  Union is zero outside the sub-block
+            # family, where the object path's walk is a no-op.
+            remote_spec = 0
+            spec_mask_li = s.spec_mask[li]
+            if self.use_sharer_index:
+                others = self._iter_mask(spec_mask_li, core)
+            else:
+                others = [r for r in range(s.n_cores) if r != core]
+            active = self.active
+            for r in others:
+                if not (spec_mask_li >> r) & 1:
+                    continue
+                victim = active[r]
+                if victim is None or s.sowner[r][li] != victim.uid:
+                    continue
+                remote_spec |= s.spec[r][li]
+            if remote_spec or (member and s.rr[core][li]):
+                if not member:
+                    self._ensure_entry(core, li)
+                    member = True
+                s.rr[core][li] = remote_spec
+
+        # -- speculative bookkeeping ------------------------------------
+        if txn is not None:
+            if not member:
+                self._ensure_entry(core, li)
+            sowner_c = s.sowner[core]
+            so = sowner_c[li]
+            uid = txn.uid
+            if so == -1:
+                sowner_c[li] = uid
+            elif so != uid:
+                raise ProtocolError(
+                    f"stale speculative state on line {line_addr:#x} "
+                    f"(owner {so}, txn {uid})"
+                )
+            if self._sub:
+                spec_c = s.spec[core]
+                wr_c = s.wr[core]
+                if filled and self._dirty_en:
+                    # Fresh data arrived: recompute Dirty from the piggy
+                    # bits of the current responders.
+                    wr_c[li] = (wr_c[li] & spec_c[li]) | (piggy & ~spec_c[li])
+                if sub < 0:
+                    sub = self._subblocks(mask)
+                if is_write:
+                    s.wmask[core][li] |= mask
+                    spec_c[li] |= sub
+                    wr_c[li] |= sub
+                    txn.note_write(line_addr)
+                else:
+                    s.rmask[core][li] |= mask
+                    swr = spec_c[li] & wr_c[li]
+                    spec_c[li] |= sub
+                    wr_c[li] = (wr_c[li] & ~sub) | (swr & sub)
+                    txn.note_read(line_addr)
+            elif is_write:
+                s.wmask[core][li] |= mask
+                txn.note_write(line_addr)
+            else:
+                s.rmask[core][li] |= mask
+                txn.note_read(line_addr)
+            s.pinned[core][li] = 1
+        elif filled and piggy:
+            # Non-transactional fill still records data-validity info.
+            if not member:
+                self._ensure_entry(core, li)
+            spec_c = s.spec[core]
+            wr_c = s.wr[core]
+            wr_c[li] = (wr_c[li] & spec_c[li]) | (piggy & ~spec_c[li])
+
+        # -- data movement ----------------------------------------------
+        data_line = s.data[core][li]
+        w0 = offset // WORD_SIZE
+        w1 = (offset + size - 1) // WORD_SIZE
+        tokens = self.tokens
+        if is_write:
+            if txn is not None:
+                t_uid = txn.uid
+                redo = txn.redo
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    token = tokens.allocate(t_uid, word_addr)
+                    redo[word_addr] = token
+                    data_line[wi] = token
+            else:
+                memory = self.mem.memory
+                versions = self.versions
+                checker = self.checker
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    self._txn_uid += 1
+                    uid = self._txn_uid
+                    token = tokens.allocate(uid, word_addr)
+                    versions.on_commit(uid)
+                    memory[word_addr] = token
+                    if checker is not None:
+                        checker.record_plain_write(word_addr, token)
+                    data_line[wi] = token
+        elif txn is not None:
+            redo = txn.redo
+            observed = txn.observed
+            checker = self.checker
+            for wi in range(w0, w1 + 1):
+                word_addr = line_addr + wi * WORD_SIZE
+                token = redo.get(word_addr)
+                if token is None:
+                    token = data_line[wi]
+                    if word_addr not in observed:
+                        observed[word_addr] = token
+                        if checker is not None:
+                            checker.observe_read(txn, word_addr, token)
+
+        self.sink.on_access(core, line_addr, offset, is_write, out.hit_l1)
+        return out
+
+    # -------------------------------------------------------------------- probe
+
+    def _probe(
+        self,
+        core: int,
+        li: int,
+        line_addr: int,
+        mask: int,
+        invalidating: bool,
+        time: int,
+        txn: Transaction | None,
+        is_write: bool,
+    ) -> list[ConflictRecord]:
+        s = self.state
+        bstats = self.bus.stats
+        if invalidating:
+            bstats.probes_invalidating += 1
+        else:
+            bstats.probes_non_invalidating += 1
+        records: list[ConflictRecord] = []
+        spec_mask_li = s.spec_mask[li]
+        if self.use_sharer_index:
+            if not spec_mask_li:
+                return records
+            targets = self._rr_order(core, spec_mask_li)
+        else:
+            targets = self.bus.snoop_order(core)
+        sub_family = self._sub
+        sub = self._subblocks(mask) if sub_family else 0
+        active = self.active
+        for r in targets:
+            if not (spec_mask_li >> r) & 1:
+                continue
+            victim = active[r]
+            if victim is None or s.sowner[r][li] != victim.uid:
+                continue  # dirty-only or stale state: no active speculation
+            forced_waw = False
+            if sub_family:
+                spec_r = s.spec[r][li]
+                if invalidating:
+                    if sub & spec_r:
+                        pass
+                    elif self._forced_waw and spec_r & s.wr[r][li]:
+                        forced_waw = True
+                    else:
+                        continue
+                elif not (sub & spec_r & s.wr[r][li]):
+                    continue
+            else:
+                wm = s.wmask[r][li]
+                if invalidating:
+                    if self._decoupled:
+                        if not wm:
+                            continue
+                    elif not (wm or s.rmask[r][li]):
+                        continue
+                elif not wm:
+                    continue
+            rmask_r = s.rmask[r][li]
+            wmask_r = s.wmask[r][li]
+            victim_footprint = wmask_r | (rmask_r if invalidating else 0)
+            is_false = (mask & victim_footprint) == 0
+            rec = ConflictRecord(
+                time=time,
+                requester_core=core,
+                victim_core=r,
+                requester_txn=txn.uid if txn is not None else -1,
+                victim_txn=victim.uid,
+                line_addr=line_addr,
+                line_index=self.amap.line_index(line_addr),
+                ctype=classify_type(is_write, rmask_r, wmask_r),
+                is_false=is_false,
+                requester_is_write=is_write,
+                requester_mask=mask,
+                victim_read_mask=rmask_r,
+                victim_write_mask=wmask_r,
+                forced_waw=forced_waw,
+            )
+            records.append(rec)
+            self.sink.on_conflict(rec)
+            cause = AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
+            if (
+                self._older_wins
+                and txn is not None
+                and victim.start_time < txn.start_time
+            ):
+                # Age-based resolution: the younger *requester* yields.
+                self._abort(core, time, cause)
+                raise _RequesterAborted(cause, records)
+            self._abort(r, time, cause)
+        return records
+
+    # ----------------------------------------------------------- remote walks
+
+    def _holder_targets_a(self, core: int, li: int) -> list[int]:
+        if self.use_sharer_index:
+            return self._iter_mask(self.state.holders[li], core)
+        return [r for r in range(self.state.n_cores) if r != core]
+
+    def _invalidate_remote_copies(self, core: int, li: int) -> None:
+        s = self.state
+        for r in self._holder_targets_a(core, li):
+            if s.moesi[r][li] == MOESI_I:
+                continue
+            member = (s.spec_mask[li] >> r) & 1
+            if member:
+                if self._sub:
+                    retain = s.spec[r][li] != 0
+                elif self._decoupled:
+                    retain = s.rmask[r][li] != 0
+                else:
+                    retain = False
+            else:
+                retain = False
+            self._remove_l1(r, li)
+            if not retain:
+                # The copy leaves the cache entirely.
+                del s.l1_sets[r][s.set1[li]][li]
+                s.data[r][li] = None
+                s.pinned[r][li] = 0
+                if member and not self._any_spec(r, li):
+                    # Dirty-only info dies with the discarded copy.
+                    s.spec_mask[li] &= ~(1 << r)
+
+    def _demote_remote_copies(self, core: int, li: int) -> None:
+        s = self.state
+        for r in self._holder_targets_a(core, li):
+            code = s.moesi[r][li]
+            if code == MOESI_I:
+                continue
+            if code == MOESI_E and s.owner[li] == r:
+                # E→S loses supply capability; M→O keeps it.
+                s.owner[li] = -1
+            s.moesi[r][li] = NON_INVALIDATING_NEXT[code]
+
+    # -------------------------------------------------------------- fetch/fill
+
+    def _fetch(self, core: int, li: int, line_addr: int) -> tuple[list[int], int, int]:
+        """Fetch line data: remote owner cache, local L2/L3, or memory."""
+        s = self.state
+        supplier = -1
+        if self.use_sharer_index:
+            ow = s.owner[li]
+            if ow >= 0 and ow != core and s.moesi[ow][li] >= MOESI_O:
+                if not (
+                    (s.spec_mask[li] >> ow) & 1
+                    and s.wr[ow][li] & ~s.spec[ow][li]
+                ):
+                    supplier = ow
+        else:
+            for r in self.bus.snoop_order(core):
+                if s.moesi[r][li] < MOESI_O:
+                    continue
+                if (s.spec_mask[li] >> r) & 1 and s.wr[r][li] & ~s.spec[r][li]:
+                    continue  # stale words present; let memory respond
+                supplier = r
+                break
+        piggy = 0
+        if self._sub and self._dirty_en:
+            spec_mask_li = s.spec_mask[li]
+            if self.use_sharer_index:
+                others = self._iter_mask(spec_mask_li, core)
+            else:
+                others = [r for r in range(s.n_cores) if r != core]
+            active = self.active
+            for r in others:
+                if not (spec_mask_li >> r) & 1:
+                    continue
+                victim = active[r]
+                if victim is None or s.sowner[r][li] != victim.uid:
+                    continue
+                piggy |= s.spec[r][li] & s.wr[r][li]
+        sink = self.sink
+        if supplier >= 0:
+            src = s.data[supplier][li]
+            assert src is not None
+            data = list(src)
+            sink.on_fill(core, line_addr, "remote")
+            latency = self._lat_c2c
+            self.bus.count_response(from_cache=True, piggyback=piggy != 0)
+        else:
+            if li in s.l2_sets[core][s.set2[li]]:
+                sink.on_fill(core, line_addr, "L2")
+                latency = self._lat_l2
+            elif li in s.l3_sets[core][s.set3[li]]:
+                sink.on_fill(core, line_addr, "L3")
+                latency = self._lat_l3
+            else:
+                sink.on_fill(core, line_addr, "memory")
+                latency = self._lat_mem
+            memory = self.mem.memory
+            data = [
+                memory.get(line_addr + i * WORD_SIZE, 0) for i in range(self._wpl)
+            ]
+            self.bus.count_response(from_cache=False, piggyback=piggy != 0)
+        # Install presence in the private L2/L3 (inclusive, presence-only).
+        l2d = s.l2_sets[core][s.set2[li]]
+        if li not in l2d:
+            if len(l2d) >= s.l2_assoc:
+                del l2d[next(iter(l2d))]
+            l2d[li] = None
+        l3d = s.l3_sets[core][s.set3[li]]
+        if li not in l3d:
+            if len(l3d) >= s.l3_assoc:
+                del l3d[next(iter(l3d))]
+            l3d[li] = None
+        return data, latency, piggy
+
+    def _fill(
+        self, core: int, li: int, code: int, data: list[int], txn: Transaction | None
+    ) -> bool:
+        """Install a line in the core's L1; False means capacity-blocked."""
+        s = self.state
+        if txn is not None and s.line_addrs[li] in txn.write_lines:
+            # Overlay the transaction's own buffered stores.
+            base = s.line_addrs[li]
+            redo = txn.redo
+            for wi in range(self._wpl):
+                tok = redo.get(base + wi * WORD_SIZE)
+                if tok is not None:
+                    data[wi] = tok
+        moesi_c = s.moesi[core]
+        set_d = s.l1_sets[core][s.set1[li]]
+        bit = 1 << core
+        if li in set_d:
+            # Re-fill of a resident (possibly retained-invalid) line.
+            was_valid = moesi_c[li] != MOESI_I
+            moesi_c[li] = code
+            s.data[core][li] = data
+            del set_d[li]
+            set_d[li] = None
+            if not was_valid:
+                s.holders[li] |= bit
+        else:
+            evicted_li = -1
+            if len(set_d) >= s.l1_assoc:
+                pinned_c = s.pinned[core]
+                for cand in set_d:
+                    if not pinned_c[cand]:
+                        evicted_li = cand
+                        break
+                else:
+                    # Every resident line is pinned: grow the set within
+                    # the speculative overflow allowance or report blocked.
+                    if len(set_d) >= s.l1_assoc + SPEC_OVERFLOW_WAYS:
+                        return False
+                    evicted_li = -2  # force-fill, no eviction
+                if evicted_li >= 0:
+                    del set_d[evicted_li]
+                    self._remove_l1(core, evicted_li)
+                    s.data[core][evicted_li] = None
+                    s.pinned[core][evicted_li] = 0
+            set_d[li] = None
+            moesi_c[li] = code
+            s.data[core][li] = data
+            s.holders[li] |= bit
+            if evicted_li >= 0:
+                # Clean up side state when an unpinned line leaves the L1.
+                if (s.spec_mask[evicted_li] >> core) & 1 and not self._any_spec(
+                    core, evicted_li
+                ):
+                    s.spec_mask[evicted_li] &= ~bit
+        if code >= MOESI_E:
+            s.owner[li] = core
+        return True
+
+    def _capacity_bypass_or_abort(
+        self, core: int, time: int, out: AccessOutcome
+    ) -> AccessOutcome:
+        txn = self.active[core]
+        if txn is None:
+            # Non-transactional access to a set full of pinned lines:
+            # bypass the cache (serve uncached at memory latency).
+            out.latency += self._lat_mem
+            out.self_abort = None
+            return out
+        self._abort(core, time, AbortCause.CAPACITY)
+        out.self_abort = AbortCause.CAPACITY
+        return out
+
+    # ------------------------------------------------------------------- abort
+
+    def _clear_spec_entry(self, core: int, li: int) -> bool:
+        """Gang-clear speculative bits; True when the slot is now empty."""
+        s = self.state
+        s.rmask[core][li] = 0
+        s.wmask[core][li] = 0
+        wr = s.wr[core][li] & ~s.spec[core][li]
+        s.wr[core][li] = wr
+        s.spec[core][li] = 0
+        s.sowner[core][li] = -1
+        return wr == 0 and s.rr[core][li] == 0
+
+    def _abort(self, core: int, time: int, cause: AbortCause) -> Transaction:
+        txn = self._require_txn(core)
+        self.versions.on_abort(txn.uid)
+        s = self.state
+        imap = s.intern_map
+        moesi_c = s.moesi[core]
+        bit = 1 << core
+        write_lines = txn.write_lines
+        for line_addr in txn.footprint_lines:
+            li = imap[line_addr]
+            member = (s.spec_mask[li] & bit) != 0
+            empty = self._clear_spec_entry(core, li) if member else True
+            s.pinned[core][li] = 0
+            set_d = s.l1_sets[core][s.set1[li]]
+            resident = li in set_d
+            if resident and (line_addr in write_lines or moesi_c[li] == MOESI_I):
+                # Discard speculatively written data / stale retained lines.
+                self._remove_l1(core, li)
+                del set_d[li]
+                s.data[core][li] = None
+                resident = False
+            if member and (empty or not resident):
+                s.spec_mask[li] &= ~bit
+        txn.mark_aborted(time, cause)
+        self.active[core] = None
+        self.sink.on_txn_abort(core, time, cause.value, txn.wasted_cycles)
+        return txn
+
+    def _release_spec_lines(self, core: int, txn: Transaction) -> None:
+        """Commit-path cleanup: unpin and gang-clear speculative state."""
+        s = self.state
+        imap = s.intern_map
+        moesi_c = s.moesi[core]
+        bit = 1 << core
+        for line_addr in txn.footprint_lines:
+            li = imap[line_addr]
+            member = (s.spec_mask[li] & bit) != 0
+            empty = self._clear_spec_entry(core, li) if member else True
+            s.pinned[core][li] = 0
+            set_d = s.l1_sets[core][s.set1[li]]
+            resident = li in set_d
+            if resident and moesi_c[li] == MOESI_I:
+                # Invalidated-but-retained line: its data is stale, drop it.
+                del set_d[li]
+                s.data[core][li] = None
+                resident = False
+            if member and (empty or not resident):
+                s.spec_mask[li] &= ~bit

@@ -1,0 +1,239 @@
+"""Flat struct-of-arrays state for the array machine kernel.
+
+The object model spends most of the hot path chasing pointers: a dict
+lookup to a :class:`~repro.mem.cache.CacheLine`, an attribute read for the
+MOESI enum, another dict hop to the per-core :class:`SpecLineState`, then
+method dispatch into the detector.  :class:`SimState` flattens all of that
+into parallel arrays indexed by a dense *line index* (``li``) assigned on
+first touch:
+
+* per-line globals — ``line_addrs``, precomputed set indices for each
+  cache level, the valid-copy ``holders`` core bitmask, the supply-capable
+  ``owner`` core, and ``spec_mask`` (which cores hold speculative side
+  state; the flat mirror of the object kernel's ``spec_holders``);
+* per-core planes (``plane[core][li]``) — MOESI state codes, line data,
+  pin flags, byte-granular read/write masks, packed sub-block SPEC/WR/RR
+  bit-planes (the :mod:`repro.util.bitops` masks, one word per line), and
+  the owning transaction uid.
+
+Planes are plain Python lists because CPython indexes them in ~11 ns while
+a numpy scalar read costs ~60-110 ns (and leaks ``np.intN`` scalars into
+downstream arithmetic); numpy earns its keep only on *batch* operations,
+so it is reserved for the cold-path snapshot/audit helpers at the bottom.
+
+Residency and LRU order live in per-set insertion-ordered dicts exactly
+like :class:`~repro.mem.cache.SetAssocCache` (first key = LRU victim), so
+eviction decisions are bit-identical between kernels.
+
+Maintenance invariant: whenever a line leaves a core's L1 (eviction,
+drop), its ``moesi`` code is reset to 0 and ``data``/``pinned`` cleared,
+so ``moesi[core][li] != 0`` is equivalent to "resident and valid" and no
+plane read needs a residency pre-check.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+
+__all__ = [
+    "MOESI_E",
+    "MOESI_I",
+    "MOESI_M",
+    "MOESI_O",
+    "MOESI_S",
+    "SimState",
+]
+
+# MOESI states as dense codes, ordered so the hot predicates are single
+# comparisons: valid == (code != I), supplies_data == (code >= O),
+# can_write_silently == (code >= E).
+MOESI_I = 0
+MOESI_S = 1
+MOESI_O = 2
+MOESI_E = 3
+MOESI_M = 4
+
+#: code -> MoesiState.name, for debugging and the numpy audit.
+MOESI_NAMES = ("INVALID", "SHARED", "OWNED", "EXCLUSIVE", "MODIFIED")
+
+#: Non-invalidating probe transition table indexed by code:
+#: M -> O, E -> S, others unchanged.
+NON_INVALIDATING_NEXT = (MOESI_I, MOESI_S, MOESI_O, MOESI_S, MOESI_O)
+
+
+class SimState:
+    """Preallocated flat arrays for every hot per-line/per-core quantity."""
+
+    __slots__ = (
+        "n_cores",
+        "line_size",
+        "l1_assoc",
+        "l2_assoc",
+        "l3_assoc",
+        "l1_nsets",
+        "l2_nsets",
+        "l3_nsets",
+        "intern_map",
+        "line_addrs",
+        "set1",
+        "set2",
+        "set3",
+        "holders",
+        "owner",
+        "spec_mask",
+        "moesi",
+        "data",
+        "pinned",
+        "rmask",
+        "wmask",
+        "spec",
+        "wr",
+        "rr",
+        "sowner",
+        "l1_sets",
+        "l2_sets",
+        "l3_sets",
+    )
+
+    def __init__(self, config: SystemConfig) -> None:
+        n = config.n_cores
+        self.n_cores = n
+        self.line_size = config.line_size
+        self.l1_assoc = config.l1.associativity
+        self.l2_assoc = config.l2.associativity
+        self.l3_assoc = config.l3.associativity
+        self.l1_nsets = config.l1.n_sets
+        self.l2_nsets = config.l2.n_sets
+        self.l3_nsets = config.l3.n_sets
+
+        # line_addr -> dense index, assigned on first touch.
+        self.intern_map: dict[int, int] = {}
+        # per-line globals
+        self.line_addrs: list[int] = []
+        self.set1: list[int] = []
+        self.set2: list[int] = []
+        self.set3: list[int] = []
+        self.holders: list[int] = []
+        self.owner: list[int] = []
+        self.spec_mask: list[int] = []
+        # per-core planes, [core][li]
+        self.moesi: list[list[int]] = [[] for _ in range(n)]
+        self.data: list[list[list[int] | None]] = [[] for _ in range(n)]
+        self.pinned: list[list[int]] = [[] for _ in range(n)]
+        self.rmask: list[list[int]] = [[] for _ in range(n)]
+        self.wmask: list[list[int]] = [[] for _ in range(n)]
+        self.spec: list[list[int]] = [[] for _ in range(n)]
+        self.wr: list[list[int]] = [[] for _ in range(n)]
+        self.rr: list[list[int]] = [[] for _ in range(n)]
+        self.sowner: list[list[int]] = [[] for _ in range(n)]
+        # residency + LRU: insertion-ordered per-set dicts {li: None},
+        # first key = LRU victim candidate (same discipline as
+        # SetAssocCache so eviction order is bit-identical).
+        self.l1_sets = [[{} for _ in range(self.l1_nsets)] for _ in range(n)]
+        self.l2_sets = [[{} for _ in range(self.l2_nsets)] for _ in range(n)]
+        self.l3_sets = [[{} for _ in range(self.l3_nsets)] for _ in range(n)]
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.line_addrs)
+
+    def add_line(self, line_addr: int) -> int:
+        """Intern a line address, growing every plane by one slot."""
+        li = len(self.line_addrs)
+        self.intern_map[line_addr] = li
+        self.line_addrs.append(line_addr)
+        lineno = line_addr // self.line_size
+        self.set1.append(lineno & (self.l1_nsets - 1))
+        self.set2.append(lineno & (self.l2_nsets - 1))
+        self.set3.append(lineno & (self.l3_nsets - 1))
+        self.holders.append(0)
+        self.owner.append(-1)
+        self.spec_mask.append(0)
+        for c in range(self.n_cores):
+            self.moesi[c].append(MOESI_I)
+            self.data[c].append(None)
+            self.pinned[c].append(0)
+            self.rmask[c].append(0)
+            self.wmask[c].append(0)
+            self.spec[c].append(0)
+            self.wr[c].append(0)
+            self.rr[c].append(0)
+            self.sowner[c].append(-1)
+        return li
+
+    # ---------------------------------------------------------- batch views
+
+    def plane_matrix(self, name: str):
+        """A ``(n_cores, n_lines)`` numpy snapshot of one per-core plane.
+
+        Cold-path only: used by the audit below and by tests/tools that
+        want vectorized reductions over the whole state.  Masks can exceed
+        64 bits (byte masks of 64-byte lines are exactly 64 bits, sub-block
+        planes fewer), so ``uint64`` is wide enough for every plane except
+        ``data``; ``object`` dtype is refused rather than silently used.
+        """
+        import numpy as np
+
+        if name == "data":
+            raise ValueError("data plane has no fixed-width dtype")
+        rows = getattr(self, name)
+        dtype = np.int64 if name in ("sowner", "moesi") else np.uint64
+        return np.array(rows, dtype=dtype)
+
+    def audit_coherence(self) -> None:
+        """Vectorized MOESI invariant check over the entire state.
+
+        The numpy twin of :func:`repro.mem.moesi.check_global_invariant`:
+        one pass of array reductions instead of a per-line Python loop.
+        Raises :class:`~repro.errors.ProtocolError` on the first violated
+        invariant.  Intended for end-of-run audits in the parity and fuzz
+        suites (hot paths never call this).
+        """
+        import numpy as np
+
+        from repro.errors import ProtocolError
+
+        if not self.line_addrs:
+            return
+        m = self.plane_matrix("moesi")  # (cores, lines)
+        n_m = (m == MOESI_M).sum(axis=0)
+        n_e = (m == MOESI_E).sum(axis=0)
+        n_o = (m == MOESI_O).sum(axis=0)
+        n_valid = (m != MOESI_I).sum(axis=0)
+        addrs = np.array(self.line_addrs, dtype=np.int64)
+
+        def _first_bad(bad) -> int:
+            return int(addrs[np.argmax(bad)])
+
+        exclusive_writers = n_m + n_e
+        bad = exclusive_writers > 1
+        if bad.any():
+            raise ProtocolError(
+                f"line {_first_bad(bad):#x}: multiple M/E copies"
+            )
+        bad = (exclusive_writers == 1) & (n_valid > 1)
+        if bad.any():
+            raise ProtocolError(
+                f"line {_first_bad(bad):#x}: M/E copy coexists with sharers"
+            )
+        bad = n_o > 1
+        if bad.any():
+            raise ProtocolError(f"line {_first_bad(bad):#x}: multiple O copies")
+        # holders bitmask mirrors the set of valid copies exactly.
+        hold = np.array(self.holders, dtype=np.uint64)
+        bad = np.bitwise_count(hold) != n_valid
+        if bad.any():
+            raise ProtocolError(
+                f"line {_first_bad(bad):#x}: holders bitmask out of sync"
+            )
+        # a recorded owner must hold a supply-capable copy.
+        own = np.array(self.owner, dtype=np.int64)
+        has_owner = own >= 0
+        if has_owner.any():
+            owner_state = m[own[has_owner], np.nonzero(has_owner)[0]]
+            bad_idx = np.nonzero(has_owner)[0][owner_state < MOESI_O]
+            if bad_idx.size:
+                raise ProtocolError(
+                    f"line {int(addrs[bad_idx[0]]):#x}: "
+                    "owner pointer at non-supplying copy"
+                )

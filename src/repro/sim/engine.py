@@ -23,6 +23,7 @@ from repro.config import SystemConfig
 from repro.errors import SimulationError
 from repro.htm.backoff import BackoffManager
 from repro.htm.machine import HtmMachine
+from repro.kernel import build_machine
 from repro.htm.txn import AbortCause, Transaction, TxnStatus
 from repro.sim.atomicity import AtomicityChecker
 from repro.sim.stats import StatsCollector, build_sink
@@ -93,7 +94,9 @@ class SimulationEngine:
                 record_detail=record_detail,
                 metadata={"seed": seed},
             )
-        self.machine = HtmMachine(config, stats=self.sink)
+        # config.kernel selects the machine implementation (flat-array
+        # kernel by default; the object model for differential testing).
+        self.machine: HtmMachine = build_machine(config, stats=self.sink)
         self.checker: AtomicityChecker | None = None
         if check_atomicity:
             self.checker = AtomicityChecker(

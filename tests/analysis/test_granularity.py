@@ -31,20 +31,6 @@ def rec(req_mask, vr=0, vw=0, is_write=True):
     )
 
 
-def test_traceanalysis_shim_warns_and_reexports():
-    import importlib
-    import sys
-    import warnings
-
-    sys.modules.pop("repro.analysis.traceanalysis", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        shim = importlib.import_module("repro.analysis.traceanalysis")
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert shim.conflict_survives is conflict_survives
-    assert shim.reduction_by_granularity is reduction_by_granularity
-
-
 class TestConflictSurvives:
     def test_true_conflict_survives_everywhere(self):
         r = rec(byte_mask(0, 8), vr=byte_mask(0, 8))

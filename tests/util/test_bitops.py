@@ -168,6 +168,67 @@ class TestReduceSpread:
             assert flag == seen or flag
 
 
+class TestPackedEdgeWidths:
+    """Explicit packed sub-block cases at the edge widths the array kernel
+    stores one-word-per-line: N=1 (whole-line bit), N=4 (the paper's
+    default), N=8, and N=64 (byte granularity, the PERFECT scheme)."""
+
+    def test_n1_everything_is_block_zero(self):
+        for off, size in ((0, 1), (63, 1), (12, 8), (0, 64)):
+            assert reduce_mask(byte_mask(off, size), 64, 1) == 0b1
+        assert spread_mask(0b1, 64, 1) == (1 << 64) - 1
+
+    def test_n1_empty_stays_empty(self):
+        assert reduce_mask(0, 64, 1) == 0
+
+    def test_n4_block_boundaries(self):
+        # 16-byte sub-blocks: one bit per aligned quarter.
+        for blk in range(4):
+            assert reduce_mask(byte_mask(blk * 16, 16), 64, 4) == 1 << blk
+        # one byte either side of the 32-byte midline
+        assert reduce_mask(byte_mask(31, 2), 64, 4) == 0b0110
+        # full line lights every bit
+        assert reduce_mask(byte_mask(0, 64), 64, 4) == 0b1111
+
+    def test_n4_spread_is_block_aligned(self):
+        assert spread_mask(0b0101, 64, 4) == byte_mask(0, 16) | byte_mask(32, 16)
+
+    def test_n8_block_boundaries(self):
+        # 8-byte sub-blocks: an 8-byte access maps to 1 or 2 bits.
+        assert reduce_mask(byte_mask(0, 8), 64, 8) == 0b1
+        assert reduce_mask(byte_mask(8, 8), 64, 8) == 0b10
+        assert reduce_mask(byte_mask(4, 8), 64, 8) == 0b11
+        assert reduce_mask(byte_mask(56, 8), 64, 8) == 1 << 7
+
+    def test_n64_is_the_identity(self):
+        for off, size in ((0, 1), (63, 1), (12, 8), (5, 59)):
+            m = byte_mask(off, size)
+            assert reduce_mask(m, 64, 64) == m
+            assert spread_mask(m, 64, 64) == m
+
+    @pytest.mark.parametrize("n", [1, 4, 8, 64])
+    def test_round_trip_fixed_point(self, n):
+        """spread∘reduce is idempotent: re-reducing a spread mask changes
+        nothing (the closure property the packed planes rely on)."""
+        for off, size in ((0, 1), (63, 1), (12, 8), (0, 64), (31, 2)):
+            sub = reduce_mask(byte_mask(off, size), 64, n)
+            assert reduce_mask(spread_mask(sub, 64, n), 64, n) == sub
+
+    @pytest.mark.parametrize("n", [1, 4, 8, 64])
+    def test_popcount_bounds(self, n):
+        """A contiguous s-byte access touches between ceil(s/(64/n)) and
+        ceil(s/(64/n))+1 sub-blocks (the +1 from misalignment), never
+        more."""
+        blk = 64 // n
+        for off in range(0, 64, 7):
+            for size in (1, 3, 8, 64 - off):
+                if size > 64 - off:
+                    continue
+                lo = -(-size // blk)
+                got = bit_count(reduce_mask(byte_mask(off, size), 64, n))
+                assert lo <= got <= min(lo + 1, n)
+
+
 class TestMemoization:
     """The mask builders are lru_cached on the hot path; caching must be
     invisible (same values, errors still raised on every call)."""
