@@ -38,9 +38,11 @@ def history_line(report: dict) -> dict:
     par = report.get("parallel", {})
     tr = report.get("transfer", {})
     fig = report.get("figure_pipeline", {})
-    # ``hot_path_acc_per_sec`` is the long-lived gate metric name; it now
+    # ``hot_path_acc_per_sec`` is the long-lived legacy metric name; it
     # reads the array-kernel engine throughput (falling back to the
-    # pre-kernel key so old reports still append cleanly).
+    # pre-kernel key so old reports still append cleanly).  The gate has
+    # moved to ``engine_flat_txn_acc_per_sec`` — the flat-txn runtime's
+    # micro-batched engine throughput, the number the default stack ships.
     hot = hp.get("kernel_array_accesses_per_sec")
     if hot is None:
         hot = hp.get("optimized_accesses_per_sec")
@@ -52,8 +54,10 @@ def history_line(report: dict) -> dict:
         "quick": report.get("meta", {}).get("quick"),
         "cpu_count": report.get("meta", {}).get("cpu_count"),
         "python": report.get("meta", {}).get("python"),
+        "engine_flat_txn_acc_per_sec": hp.get("engine_flat_txn_acc_per_sec"),
         "hot_path_acc_per_sec": hot,
         "hot_path_speedup": hp.get("speedup"),
+        "speedup_flat_vs_array": hp.get("speedup_flat_vs_array"),
         "kernel_replay_acc_per_sec": ker.get("kernel_array_accesses_per_sec"),
         "kernel_speedup": ker.get("speedup"),
         "parallel_speedup": par.get("speedup"),

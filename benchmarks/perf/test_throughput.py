@@ -6,6 +6,8 @@ in isolation:
 * sharer-filtered probes vs the legacy broadcast scan (same machine,
   ``use_sharer_index`` toggled — counters are asserted identical, the
   benchmark times the optimized path),
+* the flat-txn kernel + micro-batched engine (the default stack) vs the
+  array and object kernels, and batched vs stepwise event loops,
 * detail-off stats recording vs the full detail layer,
 * compile-once script caching vs per-point recompilation,
 * parallel ``run_many`` dispatch overhead at ``jobs=1`` (the serial
@@ -61,33 +63,55 @@ def test_sharer_index_counters_identical():
     assert fast.summary() == slow.summary()
 
 
-def _run_kernel(cfg, scripts, *, kernel: str):
+def _run_kernel(cfg, scripts, *, kernel: str, micro_batch: bool = True):
     return SimulationEngine(
         cfg.with_kernel(kernel), scripts, seed=5,
         check_atomicity=False, record_detail=False,
+        micro_batch=micro_batch,
     ).run()
 
 
-def test_array_kernel_throughput(benchmark):
-    """Contended run on the flat-array kernel (the default)."""
+def test_flat_txn_engine_throughput(benchmark):
+    """Contended run on the flat-txn kernel + batched engine (the default
+    stack; this is the perf-history gate metric's workload shape)."""
     _, cfg, scripts = _contended_scripts()
-    stats = benchmark(lambda: _run_kernel(cfg, scripts, kernel="array"))
+    stats = benchmark(lambda: _run_kernel(cfg, scripts, kernel="flat"))
+    assert stats.txn_commits == cfg.n_cores * 30
+
+
+def test_array_kernel_throughput(benchmark):
+    """Same run on the flat-array kernel, the differential baseline."""
+    _, cfg, scripts = _contended_scripts()
+    stats = benchmark(
+        lambda: _run_kernel(cfg, scripts, kernel="array", micro_batch=False)
+    )
     assert stats.txn_commits == cfg.n_cores * 30
 
 
 def test_object_kernel_throughput(benchmark):
     """Same run on the reference object model, for comparison."""
     _, cfg, scripts = _contended_scripts()
-    stats = benchmark(lambda: _run_kernel(cfg, scripts, kernel="object"))
+    stats = benchmark(
+        lambda: _run_kernel(cfg, scripts, kernel="object", micro_batch=False)
+    )
     assert stats.txn_commits == cfg.n_cores * 30
 
 
 def test_kernel_counters_identical():
     """The kernel changes the representation, never the simulated run."""
     _, cfg, scripts = _contended_scripts()
+    flat = _run_kernel(cfg, scripts, kernel="flat")
     arr = _run_kernel(cfg, scripts, kernel="array")
     obj = _run_kernel(cfg, scripts, kernel="object")
-    assert arr.summary() == obj.summary()
+    assert flat.summary() == arr.summary() == obj.summary()
+
+
+def test_micro_batch_counters_identical():
+    """Batched and stepwise event loops simulate the same run."""
+    _, cfg, scripts = _contended_scripts()
+    batched = _run_kernel(cfg, scripts, kernel="flat", micro_batch=True)
+    stepwise = _run_kernel(cfg, scripts, kernel="flat", micro_batch=False)
+    assert batched.summary() == stepwise.summary()
 
 
 def test_detail_off_throughput(benchmark):

@@ -4,10 +4,11 @@
 Five measurements, each with its built-in honesty check:
 
 1. **Hot path** — one contended 8-core vacation run through the full
-   engine on the flat-array kernel vs the reference object model
-   (``record_detail`` off).  The two runs' stats summaries are asserted
-   identical before the speedup is reported (the kernel changes the
-   *representation*, never the simulated machine).
+   engine on three stacks: flat-txn kernel + micro-batched loop, the
+   PR6 array kernel + stepwise loop, and the reference object model
+   (``record_detail`` off).  All three runs' stats summaries are
+   asserted identical before any speedup is reported (the kernel
+   changes the *representation*, never the simulated machine).
 2. **Kernel** — the vacation hot-path replay microbench: the recorded
    single-core vacation access stream driven straight through
    ``machine.access`` on both kernels.  This isolates the per-access
@@ -19,7 +20,9 @@ Five measurements, each with its built-in honesty check:
 3. **Parallel orchestration** — ``compare_systems`` over several
    benchmarks at ``jobs=1`` vs ``jobs=4``.  The observed speedup depends
    on the host: on a single-CPU container process-pool fan-out cannot
-   beat serial, so ``cpu_count`` is recorded next to the numbers.
+   beat serial, so the section is *skipped and marked as such* when
+   ``cpu_count == 1`` (``cpu_count`` is recorded next to the numbers
+   otherwise).
 4. **Summary transfer** — the same ``run_many(jobs=4)`` batch shipping
    full collectors vs compact ``RunSummary`` objects across the process
    boundary.  The per-result pickle payloads are measured and every
@@ -60,33 +63,59 @@ def _timed(fn):
     return out, time.perf_counter() - t0
 
 
-def bench_hot_path(txns: int, seed: int = 5) -> dict:
-    """Flat-array kernel vs object model through the full engine."""
+def bench_hot_path(txns: int, seed: int = 5, reps: int = 5) -> dict:
+    """Flat-txn engine vs the PR6 array baseline vs the object model.
+
+    Three full-engine configurations of the same contended run:
+
+    * ``flat`` + micro-batched engine loop — the current default stack;
+    * ``array`` + stepwise (heap-per-op) engine — the prior release's
+      fastest stack, kept verbatim as the differential baseline;
+    * ``object`` + stepwise engine — the reference object model.
+
+    Each is timed warm, best-of-``reps``; all three summaries are
+    asserted identical before any ratio is reported.
+    """
     w = VacationWorkload(txns_per_core=txns)
     cfg = default_system(DetectionScheme.SUBBLOCK, 4)
     scripts = w.build(cfg.n_cores, seed)
 
-    def run(kernel: str):
+    def run(kernel: str, micro_batch: bool):
         engine = SimulationEngine(
             cfg.with_kernel(kernel), scripts, seed=seed,
             check_atomicity=False, record_detail=False,
+            micro_batch=micro_batch,
         )
         return engine.run()
 
-    run("array")  # warm caches (bitops memo, allocator) off the clock
-    fast, fast_s = _timed(lambda: run("array"))
-    slow, slow_s = _timed(lambda: run("object"))
-    if fast.summary() != slow.summary():
-        raise AssertionError("array-kernel run diverged from object kernel")
-    accesses = fast.l1_hits + fast.l1_misses
+    def best_of(kernel: str, micro_batch: bool):
+        run(kernel, micro_batch)  # warm caches (memos, allocator)
+        best, stats = min(
+            (_timed(lambda: run(kernel, micro_batch))[::-1] for _ in range(reps)),
+            key=lambda r: r[0],
+        )
+        return stats, best
+
+    flat, flat_s = best_of("flat", True)
+    fast, fast_s = best_of("array", False)
+    slow, slow_s = best_of("object", False)
+    if not (flat.summary() == fast.summary() == slow.summary()):
+        raise AssertionError("kernel runs diverged on the hot-path workload")
+    accesses = flat.l1_hits + flat.l1_misses
     return {
         "workload": f"vacation x{txns} txns/core, 8 cores, subblock N=4",
         "simulated_accesses": accesses,
+        "engine_flat_txn_seconds": round(flat_s, 4),
         "kernel_array_seconds": round(fast_s, 4),
         "kernel_object_seconds": round(slow_s, 4),
+        "engine_flat_txn_acc_per_sec": round(accesses / flat_s),
         "kernel_array_accesses_per_sec": round(accesses / fast_s),
         "kernel_object_accesses_per_sec": round(accesses / slow_s),
-        "speedup": round(slow_s / fast_s, 3),
+        "speedup_flat_vs_array": round(fast_s / flat_s, 3),
+        "speedup_flat_vs_object": round(slow_s / flat_s, 3),
+        # Kept for history continuity: the headline speedup is now the
+        # flat-txn stack over the PR6 array baseline.
+        "speedup": round(fast_s / flat_s, 3),
         "counters_identical": True,
     }
 
@@ -135,7 +164,10 @@ def bench_kernel(txns: int, seed: int = 7, replays: int = 15) -> dict:
     arr_s, arr_sum = min(
         (replay("array") for _ in range(3)), key=lambda r: r[0]
     )
-    if obj_sum != arr_sum:
+    flat_s, flat_sum = min(
+        (replay("flat") for _ in range(3)), key=lambda r: r[0]
+    )
+    if not (obj_sum == arr_sum == flat_sum):
         raise AssertionError("kernel replay counters diverged")
     accesses = len(stream) * replays
     return {
@@ -145,8 +177,10 @@ def bench_kernel(txns: int, seed: int = 7, replays: int = 15) -> dict:
         "replayed_accesses": accesses,
         "kernel_object_seconds": round(obj_s, 4),
         "kernel_array_seconds": round(arr_s, 4),
+        "kernel_flat_seconds": round(flat_s, 4),
         "kernel_object_accesses_per_sec": round(accesses / obj_s),
         "kernel_array_accesses_per_sec": round(accesses / arr_s),
+        "kernel_flat_accesses_per_sec": round(accesses / flat_s),
         "speedup": round(obj_s / arr_s, 3),
         "counters_identical": True,
     }
@@ -154,6 +188,17 @@ def bench_kernel(txns: int, seed: int = 7, replays: int = 15) -> dict:
 
 def bench_parallel(txns: int, jobs: int = 4, seed: int = 1) -> dict:
     """Serial vs process-pool execution of identical run batches."""
+    cpus = os.cpu_count() or 1
+    if cpus == 1:
+        # Process-pool fan-out cannot beat serial on one CPU; a "0.6x
+        # speedup" here would only be container noise masquerading as a
+        # regression, so the section is marked skipped instead.
+        return {
+            "skipped": True,
+            "reason": "cpu_count == 1: process-pool fan-out cannot "
+                      "outrun serial execution",
+            "cpu_count": 1,
+        }
     workloads = [get_workload(name, txns) for name in PARALLEL_BENCHMARKS]
 
     def batch(n_jobs: int):
@@ -269,15 +314,21 @@ def main(argv: list[str] | None = None) -> int:
     hp, par = report["hot_path"], report["parallel"]
     ker = report["kernel"]
     print(f"wrote {args.out}")
-    print(f"  hot path : {hp['kernel_array_accesses_per_sec']:>9,} acc/s "
-          f"(object kernel {hp['kernel_object_accesses_per_sec']:,}; "
-          f"{hp['speedup']}x, counters identical)")
-    print(f"  kernel   : {ker['kernel_array_accesses_per_sec']:>9,} acc/s "
-          f"replay (object kernel {ker['kernel_object_accesses_per_sec']:,}; "
-          f"{ker['speedup']}x, counters identical)")
-    print(f"  parallel : {par['runs']} runs, jobs={par['jobs']}: "
-          f"{par['parallel_seconds']}s vs serial {par['serial_seconds']}s "
-          f"({par['speedup']}x on {report['meta']['cpu_count']} CPUs)")
+    print(f"  hot path : {hp['engine_flat_txn_acc_per_sec']:>9,} acc/s flat "
+          f"(array {hp['kernel_array_accesses_per_sec']:,}, object "
+          f"{hp['kernel_object_accesses_per_sec']:,}; "
+          f"{hp['speedup_flat_vs_array']}x vs array, "
+          f"{hp['speedup_flat_vs_object']}x vs object, counters identical)")
+    print(f"  kernel   : {ker['kernel_flat_accesses_per_sec']:>9,} acc/s "
+          f"replay flat (array {ker['kernel_array_accesses_per_sec']:,}, "
+          f"object {ker['kernel_object_accesses_per_sec']:,}; "
+          f"counters identical)")
+    if par.get("skipped"):
+        print(f"  parallel : skipped ({par['reason']})")
+    else:
+        print(f"  parallel : {par['runs']} runs, jobs={par['jobs']}: "
+              f"{par['parallel_seconds']}s vs serial {par['serial_seconds']}s "
+              f"({par['speedup']}x on {report['meta']['cpu_count']} CPUs)")
     tr = report["transfer"]
     print(f"  transfer : summary {tr['summary_seconds']}s vs full "
           f"{tr['full_seconds']}s ({tr['speedup']}x); payload "

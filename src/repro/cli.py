@@ -172,7 +172,56 @@ def _seed_list(args: argparse.Namespace) -> tuple[int, ...]:
     return tuple(range(args.seed, args.seed + args.seeds))
 
 
+def _print_profile(pr) -> None:
+    """Top-20 cumulative profile plus a machine/engine/telemetry split.
+
+    The split buckets each function's *tottime* by the layer its file
+    lives in, so "where do the cycles go" is answerable without reading
+    the full table: ``sim/engine`` is the event loop, ``telemetry/`` the
+    sink hooks, and ``kernel``/``htm``/``mem`` the simulated machine.
+    """
+    import pstats
+
+    stats = pstats.Stats(pr)
+    stats.sort_stats("cumulative")
+    stats.print_stats(20)
+    buckets = {"machine": 0.0, "engine": 0.0, "telemetry": 0.0, "other": 0.0}
+    total = 0.0
+    for (filename, _lineno, _name), (_cc, _nc, tt, _ct, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        total += tt
+        norm = filename.replace("\\", "/")
+        if "/sim/engine" in norm:
+            buckets["engine"] += tt
+        elif "/telemetry/" in norm:
+            buckets["telemetry"] += tt
+        elif "/kernel/" in norm or "/htm/" in norm or "/mem/" in norm:
+            buckets["machine"] += tt
+        else:
+            buckets["other"] += tt
+    print("phase split (tottime):")
+    for name in ("machine", "engine", "telemetry", "other"):
+        pct = 100.0 * buckets[name] / total if total else 0.0
+        print(f"  {name:<9} {buckets[name]:8.3f}s  {pct:5.1f}%")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "profile", False):
+        import cProfile
+
+        pr = cProfile.Profile()
+        pr.enable()
+        try:
+            rv = _cmd_run_inner(args)
+        finally:
+            pr.disable()
+            _print_profile(pr)
+        return rv
+    return _cmd_run_inner(args)
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
     schemes = ALL_SCHEMES if args.all_schemes else (
         DetectionScheme.ASF_BASELINE,
@@ -503,9 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--txns", type=int, default=200)
         p.add_argument("--seed", type=int, default=1)
         p.add_argument(
-            "--kernel", choices=KERNELS, default="array",
-            help="machine kernel implementation: the flat-array default or "
-            "the reference object model (bit-identical results)",
+            "--kernel", choices=KERNELS, default="flat",
+            help="machine kernel implementation: the flat-txn default, the "
+            "flat-array kernel, or the reference object model "
+            "(bit-identical results)",
         )
         p.add_argument(
             "--jobs", "-j", type=int, default=1,
@@ -543,6 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the atomicity checker")
     p_run.add_argument("--all-schemes", action="store_true",
                        help="include the coherence-decoupling comparator")
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in cProfile: print the top-20 cumulative "
+        "functions and a machine/engine/telemetry phase split (use "
+        "--jobs 1; subprocess work is invisible to the profiler)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="regenerate every table and figure")

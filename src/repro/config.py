@@ -38,7 +38,7 @@ __all__ = [
 TELEMETRY_SINKS = ("auto", "counters", "detail", "trace")
 
 #: Valid values of :attr:`SystemConfig.kernel`.
-KERNELS = ("object", "array")
+KERNELS = ("object", "array", "flat")
 
 
 class ConflictResolution(enum.Enum):
@@ -240,11 +240,13 @@ class SystemConfig:
     htm: HtmConfig = field(default_factory=HtmConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     track_values: bool = True
-    # Which machine implementation the engine builds: "array" is the
-    # flat struct-of-arrays kernel (:mod:`repro.kernel`), "object" the
-    # per-line object model it mirrors bit-for-bit.  Both produce
-    # identical telemetry — the kernel-parity suite asserts it.
-    kernel: str = "array"
+    # Which machine implementation the engine builds: "flat" (default)
+    # is the struct-of-arrays kernel plus the flat transactional runtime
+    # (recycled per-core txn views, inlined commit); "array" the same
+    # arrays with per-attempt Transaction objects; "object" the per-line
+    # object model both mirror bit-for-bit.  All three produce identical
+    # telemetry — the kernel-parity suite asserts it.
+    kernel: str = "flat"
 
     def __post_init__(self) -> None:
         if self.n_cores <= 0:

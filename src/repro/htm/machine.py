@@ -159,8 +159,13 @@ class HtmMachine:
             return self._abort(core, time, AbortCause.VALIDATION)
         if self.checker is not None:
             self.checker.validate_commit(txn, self.mem.memory)
-        for word_addr, token in txn.redo.items():
-            self.mem.mem_write_word(word_addr, token)
+        redo = txn.redo
+        if redo:
+            # Inlined mem_write_word: redo keys are built word-aligned by
+            # _apply_store, so the alignment guard cannot fire here.
+            memory = self.mem.memory
+            for word_addr, token in redo.items():
+                memory[word_addr] = token
         self.versions.on_commit(txn.uid)
         self._release_spec_lines(core, txn)
         txn.mark_committed(time)
@@ -714,17 +719,24 @@ class HtmMachine:
         self.versions.on_abort(txn.uid)
         l1 = self.mem.l1s[core]
         table = self.spec_tables[core]
-        for line_addr in txn.footprint_lines:
-            st = table.get(line_addr)
-            empty = self.detector.clear_spec(st) if st is not None else True
-            l1.unpin(line_addr)
-            line = l1.lookup(line_addr, touch=False)
-            if line is not None and (line_addr in txn.write_lines or not line.valid):
-                # Discard speculatively written data / stale retained lines.
-                l1.drop(line_addr)
-                line = None
-            if st is not None and (empty or line is None):
-                self._spec_discard(core, line_addr)
+        # Walk write lines then read-only lines instead of allocating the
+        # footprint union; per-line cleanup only touches that line's state,
+        # so iteration order cannot change the final machine state.
+        write_lines = txn.write_lines
+        for written, lines in ((True, write_lines), (False, txn.read_lines)):
+            for line_addr in lines:
+                if not written and line_addr in write_lines:
+                    continue
+                st = table.get(line_addr)
+                empty = self.detector.clear_spec(st) if st is not None else True
+                l1.unpin(line_addr)
+                line = l1.lookup(line_addr, touch=False)
+                if line is not None and (written or not line.valid):
+                    # Discard speculatively written / stale retained lines.
+                    l1.drop(line_addr)
+                    line = None
+                if st is not None and (empty or line is None):
+                    self._spec_discard(core, line_addr)
         txn.mark_aborted(time, cause)
         self.active[core] = None
         self.sink.on_txn_abort(core, time, cause.value, txn.wasted_cycles)
@@ -734,14 +746,18 @@ class HtmMachine:
         """Commit-path cleanup: unpin and gang-clear speculative state."""
         l1 = self.mem.l1s[core]
         table = self.spec_tables[core]
-        for line_addr in txn.footprint_lines:
-            st = table.get(line_addr)
-            empty = self.detector.clear_spec(st) if st is not None else True
-            l1.unpin(line_addr)
-            line = l1.lookup(line_addr, touch=False)
-            if line is not None and not line.valid:
-                # Invalidated-but-retained line: its data is stale, drop it.
-                l1.drop(line_addr)
-                line = None
-            if st is not None and (empty or line is None):
-                self._spec_discard(core, line_addr)
+        write_lines = txn.write_lines
+        for first, lines in ((True, write_lines), (False, txn.read_lines)):
+            for line_addr in lines:
+                if not first and line_addr in write_lines:
+                    continue
+                st = table.get(line_addr)
+                empty = self.detector.clear_spec(st) if st is not None else True
+                l1.unpin(line_addr)
+                line = l1.lookup(line_addr, touch=False)
+                if line is not None and not line.valid:
+                    # Invalidated-but-retained line: data is stale, drop it.
+                    l1.drop(line_addr)
+                    line = None
+                if st is not None and (empty or line is None):
+                    self._spec_discard(core, line_addr)

@@ -97,6 +97,38 @@ class Transaction:
         if word_addr not in self.observed and word_addr not in self.redo:
             self.observed[word_addr] = token
 
+    def reset(
+        self,
+        uid: int,
+        static_id: int,
+        ops: tuple[TxnOp, ...],
+        attempt: int,
+        start_time: int,
+    ) -> None:
+        """Recycle this object as a fresh attempt (flat-runtime views).
+
+        The flat transactional runtime keeps one ``Transaction`` per core
+        whose container fields alias the :class:`~repro.kernel.state.SimState`
+        txn planes; instead of allocating a new attempt it clears those
+        containers in place.  Safe because nothing retains a reference to
+        the containers past commit/abort — the checker copies what it
+        needs at commit time, telemetry and the engine read scalars only.
+        """
+        self.uid = uid
+        self.static_id = static_id
+        self.ops = ops
+        self.attempt = attempt
+        self.start_time = start_time
+        self.status = TxnStatus.RUNNING
+        self.end_time = -1
+        self.abort_cause = None
+        self.user_abort = False
+        self.pc = 0
+        self.read_lines.clear()
+        self.write_lines.clear()
+        self.redo.clear()
+        self.observed.clear()
+
     def mark_committed(self, time: int) -> None:
         if not self.running:
             raise ProtocolError(f"commit of {self.status.value} txn {self.uid}")

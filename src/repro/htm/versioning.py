@@ -32,30 +32,44 @@ class TokenInfo:
 
 
 class TokenAllocator:
-    """Allocates unique, monotonically increasing store tokens."""
+    """Allocates unique, monotonically increasing store tokens.
 
-    __slots__ = ("_next", "_info")
+    Token ids are dense (1, 2, 3, …), so provenance is stored as two
+    parallel flat lists indexed by token id instead of a dict of frozen
+    :class:`TokenInfo` objects: ``allocate`` on the store hot path is two
+    list appends, and the common provenance question ("who wrote this
+    token?") is one list index via :meth:`writer_of`.  :class:`TokenInfo`
+    survives as the cold-path view :meth:`provenance` materialises on
+    demand.  Slot 0 holds the initial-memory token, which has no writer.
+    """
+
+    __slots__ = ("_writers", "_words")
 
     def __init__(self) -> None:
-        self._next = 1  # 0 is the initial-memory token
-        self._info: dict[int, TokenInfo] = {}
+        self._writers: list[int] = [-1]  # [token] -> writing txn uid
+        self._words: list[int] = [-1]  # [token] -> word address written
 
     def allocate(self, txn_uid: int, word_addr: int) -> int:
-        token = self._next
-        self._next += 1
-        self._info[token] = TokenInfo(token, txn_uid, word_addr)
+        writers = self._writers
+        token = len(writers)
+        writers.append(txn_uid)
+        self._words.append(word_addr)
         return token
 
     def provenance(self, token: int) -> TokenInfo | None:
         """Provenance of a token; None for the initial token 0."""
-        return self._info.get(token)
+        if 0 < token < len(self._writers):
+            return TokenInfo(token, self._writers[token], self._words[token])
+        return None
 
     def writer_of(self, token: int) -> int | None:
-        info = self._info.get(token)
-        return None if info is None else info.txn_uid
+        """Writing txn uid of a token; None for the initial token 0."""
+        if 0 < token < len(self._writers):
+            return self._writers[token]
+        return None
 
     def __len__(self) -> int:
-        return len(self._info)
+        return len(self._writers) - 1
 
 
 class VersionTracker:

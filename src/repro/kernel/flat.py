@@ -1,0 +1,907 @@
+"""The flat transactional runtime kernel.
+
+:class:`FlatTxnMachine` extends the array kernel with a flat *transaction*
+runtime: where :class:`~repro.kernel.machine.ArrayKernelMachine` flattened
+the per-line coherence and speculative side state into
+:class:`~repro.kernel.state.SimState` planes, this kernel also removes the
+per-attempt :class:`~repro.htm.txn.Transaction` allocations from the hot
+path.  Each core owns exactly one ``Transaction`` *view* whose container
+fields (read/write line sets, redo log, observed tokens) alias the
+``SimState`` txn planes; ``new_txn`` recycles the view in place via
+:meth:`Transaction.reset` instead of allocating a dataclass plus four
+containers per attempt.  The object-model API is unchanged — engine,
+telemetry, checker and tests still see a ``Transaction`` with the same
+fields — the view is just never reallocated.
+
+View-aliasing safety argument (why recycling cannot corrupt anything):
+
+* the engine holds a core's view only between ``new_txn`` and the commit/
+  abort handling of that same attempt; the view is reset only by the next
+  ``new_txn`` on the same core, which the engine issues strictly after it
+  finished with the previous attempt (including the remote-abort notice);
+* the checker copies ``observed``/``redo`` content into its own history
+  at ``validate_commit`` time;
+* telemetry hooks and the access log receive scalars only;
+* remote probes read ``uid``/``start_time`` of *active* victims, and a
+  view stays untouched from its abort until its core's next attempt.
+
+On top of the view recycling the hot lifecycle is specialised:
+
+* ``commit`` is fully inlined: direct redo publish into the backing
+  memory dict (redo keys are word-aligned by construction, so the
+  alignment guard is skipped), inline status flip, no ``mark_committed``
+  guard re-check after ``_require_txn``;
+* fast L1 hits return one preallocated :class:`AccessOutcome` (the engine
+  and the access log consume its scalars immediately and never retain
+  it); miss outcomes stay per-call because their fields vary;
+* when no atomicity checker is attached and the scheme does not need
+  commit-time validation, transactional *loads* skip token bookkeeping
+  entirely — ``observed`` is consumed only by the checker and by lazy
+  read-set validation, so with both absent the load loop has no
+  observable effect (asserted bit-identical by the parity suite).
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.errors import ProtocolError
+from repro.htm.machine import (
+    SPEC_OVERFLOW_WAYS,
+    AccessOutcome,
+    _RequesterAborted,
+)
+from repro.htm.ops import TxnOp
+from repro.htm.txn import AbortCause, Transaction, TxnStatus
+from repro.kernel.machine import _WSHIFT, ArrayKernelMachine
+from repro.kernel.state import (
+    MOESI_E,
+    MOESI_I,
+    MOESI_M,
+    MOESI_O,
+    MOESI_S,
+    NON_INVALIDATING_NEXT,
+)
+from repro.mem.address import WORD_SIZE
+from repro.telemetry.events import EventSink
+
+__all__ = ["FlatTxnMachine"]
+
+
+class FlatTxnMachine(ArrayKernelMachine):
+    """Array kernel plus recycled per-core transaction views."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: EventSink | None = None,
+        checker=None,
+        detector=None,
+        use_sharer_index: bool = True,
+    ) -> None:
+        super().__init__(
+            config,
+            stats=stats,
+            checker=checker,
+            detector=detector,
+            use_sharer_index=use_sharer_index,
+        )
+        s = self.state
+        # One reusable Transaction per core, aliasing the SimState planes.
+        self._views: list[Transaction] = [
+            Transaction(
+                uid=0,
+                static_id=-1,
+                core=c,
+                ops=(),
+                attempt=0,
+                start_time=0,
+                read_lines=s.txn_read_lines[c],
+                write_lines=s.txn_write_lines[c],
+                redo=s.txn_redo[c],
+                observed=s.txn_observed[c],
+            )
+            for c in range(config.n_cores)
+        ]
+        # Lazy schemes must keep recording observed tokens for commit-time
+        # read-set validation even without a checker attached.
+        self._lazy = self.detector.requires_commit_validation
+        self._memory = self.mem.memory
+        # Shared outcome for no-traffic L1 hits; all fields are invariant
+        # on that path and every consumer reads scalars immediately.
+        out = AccessOutcome.__new__(AccessOutcome)
+        out.latency = self._lat_l1
+        out.hit_l1 = True
+        out.conflicts = []
+        out.self_abort = None
+        out.dirty_reprobe = False
+        self._fast_out = out
+        # Reusable slow-path outcome: every field is rewritten per call,
+        # and `conflicts` starts as a shared never-mutated empty list —
+        # a fresh list (from _probe / the abort exception) is *assigned*
+        # only when conflicts actually occurred.
+        self._miss_out = AccessOutcome.__new__(AccessOutcome)
+        self._no_conflicts: list = []
+        self._on_fill = self.sink.on_fill
+        self._count_response = self.bus.count_response
+        self._bstats = self.bus.stats
+
+    # ------------------------------------------------------------------ txns
+
+    def new_txn(
+        self, core: int, static_id: int, ops: tuple[TxnOp, ...], attempt: int, time: int
+    ) -> Transaction:
+        """Recycle the core's transaction view as a fresh attempt."""
+        self._txn_uid += 1
+        view = self._views[core]
+        view.reset(self._txn_uid, static_id, ops, attempt, time)
+        return view
+
+    def commit(self, core: int, time: int) -> Transaction:
+        """Inlined commit: validate, publish redo, gang-clear, flip status."""
+        txn = self._require_txn(core)
+        if self._lazy and not self._read_set_valid(txn):
+            return self._abort(core, time, AbortCause.VALIDATION)
+        if self.checker is not None:
+            self.checker.validate_commit(txn, self._memory)
+        redo = txn.redo
+        if redo:
+            # Direct publish: redo keys are word-aligned by construction.
+            memory = self._memory
+            for word_addr, token in redo.items():
+                memory[word_addr] = token
+        self.versions.on_commit(txn.uid)
+        self._release_spec_lines(core, txn)
+        # mark_committed inlined; _require_txn already proved RUNNING.
+        txn.status = TxnStatus.COMMITTED
+        txn.end_time = time
+        self.active[core] = None
+        self.sink.on_txn_commit(core, time)
+        return txn
+
+    # ------------------------------------------------------------------ access
+
+    def access(
+        self, core: int, addr: int, size: int, is_write: bool, time: int
+    ) -> AccessOutcome:
+        """Array-kernel access with the no-traffic hit fully inlined.
+
+        One flat method replaces the array kernel's guard + ``_hit_fast``
+        dispatch: the fast-path conditions and the hit body share locals,
+        the sub-block memo is probed inline, and the hit returns the
+        machine's preallocated outcome.  Misses (and the rare multi-line
+        access) fall through to :meth:`_access_line` / the array splitter.
+        """
+        offset = addr & self._offset_mask
+        if offset + size > self._line_size or size <= 0:
+            # Multi-line or degenerate access: array splitter handles it.
+            return ArrayKernelMachine.access(self, core, addr, size, is_write, time)
+        s = self.state
+        line_addr = addr - offset
+        li = s.intern_map.get(line_addr)
+        txn = self.active[core]
+        if li is None:
+            li = s.add_line(line_addr)  # fresh line: MOESI_I, misses below
+        moesi_c = s.moesi[core]
+        code = moesi_c[li]
+        if not code or (is_write and code < MOESI_E):
+            return self._access_line(
+                core, line_addr, offset, size, is_write, time, txn, li
+            )
+        mask = ((1 << size) - 1) << offset
+        sub = -1
+        if self._dirty_en and (s.spec_mask[li] >> core) & 1:
+            dirty = s.wr[core][li] & ~s.spec[core][li]
+            if is_write:
+                if dirty:
+                    return self._access_line(
+                        core, line_addr, offset, size, is_write, time, txn, li
+                    )
+                rrb = s.rr[core][li]
+                if rrb:
+                    sub = self._sub_memo.get(mask)
+                    if sub is None:
+                        sub = self._subblocks(mask)
+                    if sub & rrb:
+                        return self._access_line(
+                            core, line_addr, offset, size, is_write, time, txn, li
+                        )
+            elif dirty:
+                sub = self._sub_memo.get(mask)
+                if sub is None:
+                    sub = self._subblocks(mask)
+                if sub & dirty:
+                    return self._access_line(
+                        core, line_addr, offset, size, is_write, time, txn, li
+                    )
+        # ---- no-traffic L1 hit (mirrors ArrayKernelMachine._hit_fast) ----
+        set_d = s.l1_sets[core][s.set1[li]]
+        del set_d[li]
+        set_d[li] = None
+        if txn is None and not is_write:
+            # Non-transactional read hit: LRU touch + telemetry only.
+            self._on_access(core, line_addr, offset, False, True)
+            return self._fast_out
+        if is_write and code != MOESI_M:
+            moesi_c[li] = MOESI_M
+        if txn is not None:
+            if not (s.spec_mask[li] >> core) & 1:
+                # _ensure_entry inlined (zero-on-create side-state slot).
+                s.spec_mask[li] |= 1 << core
+                s.rmask[core][li] = 0
+                s.wmask[core][li] = 0
+                s.spec[core][li] = 0
+                s.wr[core][li] = 0
+                s.rr[core][li] = 0
+                s.sowner[core][li] = -1
+            sowner_c = s.sowner[core]
+            so = sowner_c[li]
+            uid = txn.uid
+            if so == -1:
+                sowner_c[li] = uid
+            elif so != uid:
+                raise ProtocolError(
+                    f"stale speculative state on line {line_addr:#x} "
+                    f"(owner {so}, txn {uid})"
+                )
+            if self._sub:
+                if sub < 0:
+                    sub = self._sub_memo.get(mask)
+                    if sub is None:
+                        sub = self._subblocks(mask)
+                spec_c = s.spec[core]
+                wr_c = s.wr[core]
+                if is_write:
+                    s.wmask[core][li] |= mask
+                    spec_c[li] |= sub
+                    wr_c[li] |= sub
+                    txn.write_lines.add(line_addr)
+                else:
+                    s.rmask[core][li] |= mask
+                    swr = spec_c[li] & wr_c[li]
+                    spec_c[li] |= sub
+                    wr_c[li] = (wr_c[li] & ~sub) | (swr & sub)
+                    txn.read_lines.add(line_addr)
+            elif is_write:
+                s.wmask[core][li] |= mask
+                txn.write_lines.add(line_addr)
+            else:
+                s.rmask[core][li] |= mask
+                txn.read_lines.add(line_addr)
+            s.pinned[core][li] = 1
+        if is_write:
+            data_line = s.data[core][li]
+            w0 = offset >> _WSHIFT
+            w1 = (offset + size - 1) >> _WSHIFT
+            tokens = self.tokens
+            if txn is not None:
+                t_uid = txn.uid
+                redo = txn.redo
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    token = tokens.allocate(t_uid, word_addr)
+                    redo[word_addr] = token
+                    data_line[wi] = token
+            else:
+                memory = self._memory
+                versions = self.versions
+                checker = self.checker
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    self._txn_uid += 1
+                    uid = self._txn_uid
+                    token = tokens.allocate(uid, word_addr)
+                    versions.on_commit(uid)
+                    memory[word_addr] = token
+                    if checker is not None:
+                        checker.record_plain_write(word_addr, token)
+                    data_line[wi] = token
+        else:
+            checker = self.checker
+            if checker is not None or self._lazy:
+                # Load token bookkeeping feeds only the checker and lazy
+                # commit validation; with both absent it is skipped.
+                data_line = s.data[core][li]
+                w0 = offset >> _WSHIFT
+                w1 = (offset + size - 1) >> _WSHIFT
+                redo = txn.redo
+                observed = txn.observed
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    token = redo.get(word_addr)
+                    if token is None:
+                        token = data_line[wi]
+                        if word_addr not in observed:
+                            observed[word_addr] = token
+                            if checker is not None:
+                                checker.observe_read(txn, word_addr, token)
+        self._on_access(core, line_addr, offset, is_write, True)
+        return self._fast_out
+
+    def _invalidate_remote_copies(self, core: int, li: int) -> None:
+        """Array-kernel walk with the target-list allocation inlined away
+        (ascending bit iteration == ``_iter_mask`` order)."""
+        s = self.state
+        if self.use_sharer_index:
+            m = s.holders[li] & ~(1 << core)
+        else:
+            m = ((1 << s.n_cores) - 1) & ~(1 << core)
+        while m:
+            low = m & -m
+            r = low.bit_length() - 1
+            m ^= low
+            if s.moesi[r][li] == MOESI_I:
+                continue
+            member = (s.spec_mask[li] >> r) & 1
+            if member:
+                if self._sub:
+                    retain = s.spec[r][li] != 0
+                elif self._decoupled:
+                    retain = s.rmask[r][li] != 0
+                else:
+                    retain = False
+            else:
+                retain = False
+            self._remove_l1(r, li)
+            if not retain:
+                # The copy leaves the cache entirely.
+                del s.l1_sets[r][s.set1[li]][li]
+                s.data[r][li] = None
+                s.pinned[r][li] = 0
+                if member and not self._any_spec(r, li):
+                    # Dirty-only info dies with the discarded copy.
+                    s.spec_mask[li] &= ~(1 << r)
+
+    def _demote_remote_copies(self, core: int, li: int) -> None:
+        s = self.state
+        if self.use_sharer_index:
+            m = s.holders[li] & ~(1 << core)
+        else:
+            m = ((1 << s.n_cores) - 1) & ~(1 << core)
+        while m:
+            low = m & -m
+            r = low.bit_length() - 1
+            m ^= low
+            code = s.moesi[r][li]
+            if code == MOESI_I:
+                continue
+            if code == MOESI_E and s.owner[li] == r:
+                # E→S loses supply capability; M→O keeps it.
+                s.owner[li] = -1
+            s.moesi[r][li] = NON_INVALIDATING_NEXT[code]
+
+    def _abort(self, core: int, time: int, cause: AbortCause) -> Transaction:
+        """Array-kernel abort with ``_clear_spec_entry`` inlined.
+
+        Identical per-line cleanup; the plane rows and the gang-clear body
+        are hoisted out of the loop so each footprint line costs a handful
+        of list indexings instead of two method calls.
+        """
+        txn = self._require_txn(core)
+        self.versions.on_abort(txn.uid)
+        s = self.state
+        imap = s.intern_map
+        moesi_c = s.moesi[core]
+        rmask_c = s.rmask[core]
+        wmask_c = s.wmask[core]
+        spec_c = s.spec[core]
+        wr_c = s.wr[core]
+        rr_c = s.rr[core]
+        sowner_c = s.sowner[core]
+        pinned_c = s.pinned[core]
+        data_c = s.data[core]
+        l1_sets_c = s.l1_sets[core]
+        set1 = s.set1
+        spec_mask = s.spec_mask
+        holders = s.holders
+        owner = s.owner
+        bit = 1 << core
+        write_lines = txn.write_lines
+        for written, lines in ((True, write_lines), (False, txn.read_lines)):
+            for line_addr in lines:
+                if not written and line_addr in write_lines:
+                    continue
+                li = imap[line_addr]
+                if spec_mask[li] & bit:
+                    member = True
+                    rmask_c[li] = 0
+                    wmask_c[li] = 0
+                    wr = wr_c[li] & ~spec_c[li]
+                    wr_c[li] = wr
+                    spec_c[li] = 0
+                    sowner_c[li] = -1
+                    empty = wr == 0 and rr_c[li] == 0
+                else:
+                    member = False
+                    empty = True
+                pinned_c[li] = 0
+                set_d = l1_sets_c[set1[li]]
+                resident = li in set_d
+                if resident and (written or moesi_c[li] == MOESI_I):
+                    # Discard speculatively written / stale retained lines.
+                    if moesi_c[li] != MOESI_I:
+                        moesi_c[li] = MOESI_I
+                        holders[li] &= ~bit
+                        if owner[li] == core:
+                            owner[li] = -1
+                    del set_d[li]
+                    data_c[li] = None
+                    resident = False
+                if member and (empty or not resident):
+                    spec_mask[li] &= ~bit
+        txn.mark_aborted(time, cause)
+        self.active[core] = None
+        self.sink.on_txn_abort(core, time, cause.value, txn.wasted_cycles)
+        return txn
+
+    def _release_spec_lines(self, core: int, txn: Transaction) -> None:
+        """Commit-path cleanup with ``_clear_spec_entry`` inlined."""
+        s = self.state
+        imap = s.intern_map
+        moesi_c = s.moesi[core]
+        rmask_c = s.rmask[core]
+        wmask_c = s.wmask[core]
+        spec_c = s.spec[core]
+        wr_c = s.wr[core]
+        rr_c = s.rr[core]
+        sowner_c = s.sowner[core]
+        pinned_c = s.pinned[core]
+        data_c = s.data[core]
+        l1_sets_c = s.l1_sets[core]
+        set1 = s.set1
+        spec_mask = s.spec_mask
+        bit = 1 << core
+        write_lines = txn.write_lines
+        for first, lines in ((True, write_lines), (False, txn.read_lines)):
+            for line_addr in lines:
+                if not first and line_addr in write_lines:
+                    continue
+                li = imap[line_addr]
+                if spec_mask[li] & bit:
+                    member = True
+                    rmask_c[li] = 0
+                    wmask_c[li] = 0
+                    wr = wr_c[li] & ~spec_c[li]
+                    wr_c[li] = wr
+                    spec_c[li] = 0
+                    sowner_c[li] = -1
+                    empty = wr == 0 and rr_c[li] == 0
+                else:
+                    member = False
+                    empty = True
+                pinned_c[li] = 0
+                set_d = l1_sets_c[set1[li]]
+                resident = li in set_d
+                if resident and moesi_c[li] == MOESI_I:
+                    # Invalidated-but-retained line: data is stale, drop it.
+                    del set_d[li]
+                    data_c[li] = None
+                    resident = False
+                if member and (empty or not resident):
+                    spec_mask[li] &= ~bit
+
+    def _post_probe_walk(self, core: int, li: int) -> tuple[int, int]:
+        """Fused post-probe walk: probe-survivor sub-block snapshot and
+        piggy-back Dirty bits in one pass.
+
+        The array kernel walks the line's speculative holders twice after
+        a probe — once inside ``_fetch`` for the piggy-back mask, once for
+        the ``rr`` survivor snapshot.  Both walks read the same post-probe
+        state (nothing between them mutates ``spec``/``wr``/``active`` for
+        this line), so one pass yields both values.
+        """
+        if not self._sub:
+            return 0, 0
+        s = self.state
+        active = self.active
+        sowner = s.sowner
+        spec = s.spec
+        wr = s.wr
+        remote_spec = 0
+        piggy = 0
+        m = s.spec_mask[li] & ~(1 << core)
+        while m:
+            low = m & -m
+            r = low.bit_length() - 1
+            m ^= low
+            victim = active[r]
+            if victim is None or sowner[r][li] != victim.uid:
+                continue
+            sp = spec[r][li]
+            remote_spec |= sp
+            piggy |= sp & wr[r][li]
+        if not self._dirty_en:
+            # Piggy-backing is a dirty-state mechanism; without it the
+            # fetch path never collects the mask.
+            piggy = 0
+        return remote_spec, piggy
+
+    def _fetch_piggy(
+        self, core: int, li: int, line_addr: int, piggy: int
+    ) -> tuple[list[int], int]:
+        """``ArrayKernelMachine._fetch`` with the piggy-back walk hoisted
+        out (the fused :meth:`_post_probe_walk` already produced it)."""
+        s = self.state
+        supplier = -1
+        if self.use_sharer_index:
+            ow = s.owner[li]
+            if ow >= 0 and ow != core and s.moesi[ow][li] >= MOESI_O:
+                if not (
+                    (s.spec_mask[li] >> ow) & 1
+                    and s.wr[ow][li] & ~s.spec[ow][li]
+                ):
+                    supplier = ow
+        else:
+            for r in self.bus.snoop_order(core):
+                if s.moesi[r][li] < MOESI_O:
+                    continue
+                if (s.spec_mask[li] >> r) & 1 and s.wr[r][li] & ~s.spec[r][li]:
+                    continue  # stale words present; let memory respond
+                supplier = r
+                break
+        on_fill = self._on_fill
+        if supplier >= 0:
+            src = s.data[supplier][li]
+            assert src is not None
+            data = list(src)
+            on_fill(core, line_addr, "remote")
+            latency = self._lat_c2c
+            self._count_response(from_cache=True, piggyback=piggy != 0)
+        else:
+            if li in s.l2_sets[core][s.set2[li]]:
+                on_fill(core, line_addr, "L2")
+                latency = self._lat_l2
+            elif li in s.l3_sets[core][s.set3[li]]:
+                on_fill(core, line_addr, "L3")
+                latency = self._lat_l3
+            else:
+                on_fill(core, line_addr, "memory")
+                latency = self._lat_mem
+            memory = self._memory
+            data = [
+                memory.get(line_addr + i * WORD_SIZE, 0) for i in range(self._wpl)
+            ]
+            self._count_response(from_cache=False, piggyback=piggy != 0)
+        # Install presence in the private L2/L3 (inclusive, presence-only).
+        l2d = s.l2_sets[core][s.set2[li]]
+        if li not in l2d:
+            if len(l2d) >= s.l2_assoc:
+                del l2d[next(iter(l2d))]
+            l2d[li] = None
+        l3d = s.l3_sets[core][s.set3[li]]
+        if li not in l3d:
+            if len(l3d) >= s.l3_assoc:
+                del l3d[next(iter(l3d))]
+            l3d[li] = None
+        return data, latency
+
+    def _access_line(
+        self,
+        core: int,
+        line_addr: int,
+        offset: int,
+        size: int,
+        is_write: bool,
+        time: int,
+        txn: Transaction | None,
+        li: int = -1,
+    ) -> AccessOutcome:
+        s = self.state
+        if li < 0:
+            # Callers that already interned the line (our own ``access``)
+            # pass ``li``; the shared multi-line splitter does not.
+            li0 = s.intern_map.get(line_addr)
+            li = s.add_line(line_addr) if li0 is None else li0
+        moesi_c = s.moesi[core]
+        code = moesi_c[li]
+        set_d = s.l1_sets[core][s.set1[li]]
+        mask = ((1 << size) - 1) << offset
+        bit = 1 << core
+        valid = code != MOESI_I
+        if valid:
+            # LRU touch (only valid lookups move to MRU).
+            del set_d[li]
+            set_d[li] = None
+        member = (s.spec_mask[li] & bit) != 0
+
+        stale = False
+        force_probe = False
+        sub = -1  # lazily reduced sub-block mask of this access
+        if member and valid and self._dirty_en:
+            dirty = s.wr[core][li] & ~s.spec[core][li]
+            if is_write:
+                stale = dirty != 0
+                if stale:
+                    force_probe = True
+                else:
+                    rrb = s.rr[core][li]
+                    if rrb:
+                        sub = self._sub_memo.get(mask)
+                        if sub is None:
+                            sub = self._subblocks(mask)
+                        force_probe = (sub & rrb) != 0
+            elif dirty:
+                sub = self._sub_memo.get(mask)
+                if sub is None:
+                    sub = self._subblocks(mask)
+                stale = (sub & dirty) != 0
+                force_probe = stale
+        if force_probe:
+            self.sink.on_dirty_reprobe(core, line_addr, time)
+
+        out = self._miss_out
+        out.latency = 0
+        out.hit_l1 = False
+        out.conflicts = self._no_conflicts
+        out.self_abort = None
+        out.dirty_reprobe = force_probe
+        filled = False
+        probed = False
+        piggy = 0
+
+        remote_spec = 0
+        fill_code = -1
+        if is_write:
+            if valid and code >= MOESI_E and not force_probe:
+                # Silent store: M stays M, E upgrades to M without traffic.
+                moesi_c[li] = MOESI_M
+                out.latency += self._lat_l1
+                out.hit_l1 = True
+            else:
+                probed = True
+                if s.spec_mask[li] & ~bit:
+                    try:
+                        recs = self._probe(core, li, line_addr, mask, True, time, txn, True)
+                    except _RequesterAborted as aborted:
+                        # _probe builds a fresh records list per call, so
+                        # the outcome can own it outright.
+                        out.conflicts = aborted.records
+                        out.self_abort = aborted.cause
+                        return out
+                    if recs:
+                        out.conflicts = recs
+                    remote_spec, piggy = self._post_probe_walk(core, li)
+                else:
+                    # No other core holds speculative state on this line:
+                    # the probe is a guaranteed no-op (snoop order excludes
+                    # the requester) and the fused walk yields zero masks.
+                    # Only the bus probe counter is observable.
+                    self._bstats.probes_invalidating += 1
+                if valid and not stale:
+                    # Ownership upgrade -> M with a probe; data already
+                    # local and clean.
+                    if s.holders[li] & ~bit:
+                        self._invalidate_remote_copies(core, li)
+                    moesi_c[li] = MOESI_M
+                    s.owner[li] = core
+                    out.latency += self._lat_upgrade
+                    out.hit_l1 = True
+                else:
+                    data, fill_lat = self._fetch_piggy(core, li, line_addr, piggy)
+                    if s.holders[li] & ~bit:
+                        self._invalidate_remote_copies(core, li)
+                    fill_code = MOESI_M
+        else:
+            if valid and not stale:
+                out.latency += self._lat_l1
+                out.hit_l1 = True
+            else:
+                probed = True
+                if s.spec_mask[li] & ~bit:
+                    try:
+                        recs = self._probe(core, li, line_addr, mask, False, time, txn, False)
+                    except _RequesterAborted as aborted:
+                        out.conflicts = aborted.records
+                        out.self_abort = aborted.cause
+                        return out
+                    if recs:
+                        out.conflicts = recs
+                    remote_spec, piggy = self._post_probe_walk(core, li)
+                else:
+                    # Same no-op probe elision as the write path above.
+                    self._bstats.probes_non_invalidating += 1
+                data, fill_lat = self._fetch_piggy(core, li, line_addr, piggy)
+                # Demote does not touch holder bits, so the sharer test
+                # may be hoisted above it to gate the (often no-op) walk.
+                others = s.holders[li] & ~bit
+                if others:
+                    # _demote_remote_copies inlined: M->O / E,S->S on every
+                    # remote valid copy, releasing E supply capability.
+                    m = (
+                        others
+                        if self.use_sharer_index
+                        else ((1 << s.n_cores) - 1) & ~bit
+                    )
+                    owner_l = s.owner
+                    moesi = s.moesi
+                    while m:
+                        low = m & -m
+                        r = low.bit_length() - 1
+                        m ^= low
+                        code_r = moesi[r][li]
+                        if code_r == MOESI_I:
+                            continue
+                        if code_r == MOESI_E and owner_l[li] == r:
+                            # E→S loses supply capability; M→O keeps it.
+                            owner_l[li] = -1
+                        moesi[r][li] = NON_INVALIDATING_NEXT[code_r]
+                    fill_code = MOESI_S
+                else:
+                    fill_code = MOESI_E
+
+        if fill_code >= 0:
+            # ---- _fill inlined (single shared site for both miss legs;
+            # the walks above already ran in their leg-specific order) ----
+            if txn is not None and line_addr in txn.write_lines:
+                # Overlay the transaction's own buffered stores.
+                redo = txn.redo
+                for wi in range(self._wpl):
+                    tok = redo.get(line_addr + wi * WORD_SIZE)
+                    if tok is not None:
+                        data[wi] = tok
+            data_c = s.data[core]
+            if li in set_d:
+                # Re-fill of a resident (possibly retained-invalid) line.
+                was_valid = moesi_c[li] != MOESI_I
+                moesi_c[li] = fill_code
+                data_c[li] = data
+                del set_d[li]
+                set_d[li] = None
+                if not was_valid:
+                    s.holders[li] |= bit
+            else:
+                evicted_li = -1
+                if len(set_d) >= s.l1_assoc:
+                    pinned_c = s.pinned[core]
+                    for cand in set_d:
+                        if not pinned_c[cand]:
+                            evicted_li = cand
+                            break
+                    else:
+                        # Every resident line is pinned: grow the set within
+                        # the speculative overflow allowance or report
+                        # capacity-blocked.
+                        if len(set_d) >= s.l1_assoc + SPEC_OVERFLOW_WAYS:
+                            return self._capacity_bypass_or_abort(
+                                core, time, out
+                            )
+                        evicted_li = -2  # force-fill, no eviction
+                    if evicted_li >= 0:
+                        del set_d[evicted_li]
+                        self._remove_l1(core, evicted_li)
+                        data_c[evicted_li] = None
+                        pinned_c[evicted_li] = 0
+                set_d[li] = None
+                moesi_c[li] = fill_code
+                data_c[li] = data
+                s.holders[li] |= bit
+                if evicted_li >= 0:
+                    # Clean up side state when an unpinned line leaves L1.
+                    if (s.spec_mask[evicted_li] >> core) & 1 and not self._any_spec(
+                        core, evicted_li
+                    ):
+                        s.spec_mask[evicted_li] &= ~bit
+            if fill_code >= MOESI_E:
+                s.owner[li] = core
+            out.latency += fill_lat
+            filled = True
+
+        if moesi_c[li] == MOESI_I:  # pragma: no cover - fill guarantees
+            raise ProtocolError(f"line {line_addr:#x} not resident after access")
+
+        if probed and self._sub:
+            # Probe-survivor snapshot (computed by the fused walk above;
+            # see ArrayKernelMachine._access_line).
+            if remote_spec or (member and s.rr[core][li]):
+                if not member:
+                    self._ensure_entry(core, li)
+                    member = True
+                s.rr[core][li] = remote_spec
+
+        # -- speculative bookkeeping ------------------------------------
+        if txn is not None:
+            if not member:
+                # _ensure_entry inlined (zero-on-create side-state slot).
+                s.spec_mask[li] |= bit
+                s.rmask[core][li] = 0
+                s.wmask[core][li] = 0
+                s.spec[core][li] = 0
+                s.wr[core][li] = 0
+                s.rr[core][li] = 0
+                s.sowner[core][li] = -1
+            sowner_c = s.sowner[core]
+            so = sowner_c[li]
+            uid = txn.uid
+            if so == -1:
+                sowner_c[li] = uid
+            elif so != uid:
+                raise ProtocolError(
+                    f"stale speculative state on line {line_addr:#x} "
+                    f"(owner {so}, txn {uid})"
+                )
+            if self._sub:
+                spec_c = s.spec[core]
+                wr_c = s.wr[core]
+                if filled and self._dirty_en:
+                    # Fresh data arrived: recompute Dirty from the piggy
+                    # bits of the current responders.
+                    wr_c[li] = (wr_c[li] & spec_c[li]) | (piggy & ~spec_c[li])
+                if sub < 0:
+                    sub = self._sub_memo.get(mask)
+                    if sub is None:
+                        sub = self._subblocks(mask)
+                if is_write:
+                    s.wmask[core][li] |= mask
+                    spec_c[li] |= sub
+                    wr_c[li] |= sub
+                    txn.write_lines.add(line_addr)
+                else:
+                    s.rmask[core][li] |= mask
+                    swr = spec_c[li] & wr_c[li]
+                    spec_c[li] |= sub
+                    wr_c[li] = (wr_c[li] & ~sub) | (swr & sub)
+                    txn.read_lines.add(line_addr)
+            elif is_write:
+                s.wmask[core][li] |= mask
+                txn.write_lines.add(line_addr)
+            else:
+                s.rmask[core][li] |= mask
+                txn.read_lines.add(line_addr)
+            s.pinned[core][li] = 1
+        elif filled and piggy:
+            # Non-transactional fill still records data-validity info.
+            if not member:
+                self._ensure_entry(core, li)
+            spec_c = s.spec[core]
+            wr_c = s.wr[core]
+            wr_c[li] = (wr_c[li] & spec_c[li]) | (piggy & ~spec_c[li])
+
+        # -- data movement ----------------------------------------------
+        if is_write:
+            data_line = s.data[core][li]
+            w0 = offset >> _WSHIFT
+            w1 = (offset + size - 1) >> _WSHIFT
+            tokens = self.tokens
+            if txn is not None:
+                t_uid = txn.uid
+                redo = txn.redo
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    token = tokens.allocate(t_uid, word_addr)
+                    redo[word_addr] = token
+                    data_line[wi] = token
+            else:
+                memory = self._memory
+                versions = self.versions
+                checker = self.checker
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    self._txn_uid += 1
+                    uid = self._txn_uid
+                    token = tokens.allocate(uid, word_addr)
+                    versions.on_commit(uid)
+                    memory[word_addr] = token
+                    if checker is not None:
+                        checker.record_plain_write(word_addr, token)
+                    data_line[wi] = token
+        elif txn is not None:
+            checker = self.checker
+            if checker is not None or self._lazy:
+                # Same elision as _hit_fast: observed tokens feed only the
+                # checker and lazy commit validation.
+                data_line = s.data[core][li]
+                w0 = offset >> _WSHIFT
+                w1 = (offset + size - 1) >> _WSHIFT
+                redo = txn.redo
+                observed = txn.observed
+                for wi in range(w0, w1 + 1):
+                    word_addr = line_addr + wi * WORD_SIZE
+                    token = redo.get(word_addr)
+                    if token is None:
+                        token = data_line[wi]
+                        if word_addr not in observed:
+                            observed[word_addr] = token
+                            if checker is not None:
+                                checker.observe_read(txn, word_addr, token)
+
+        self._on_access(core, line_addr, offset, is_write, out.hit_l1)
+        return out

@@ -879,22 +879,28 @@ class ArrayKernelMachine(HtmMachine):
         imap = s.intern_map
         moesi_c = s.moesi[core]
         bit = 1 << core
+        # Written lines first, then read-only lines: avoids allocating the
+        # footprint union set.  Per-line cleanup only touches that line's
+        # state, so the order change is unobservable.
         write_lines = txn.write_lines
-        for line_addr in txn.footprint_lines:
-            li = imap[line_addr]
-            member = (s.spec_mask[li] & bit) != 0
-            empty = self._clear_spec_entry(core, li) if member else True
-            s.pinned[core][li] = 0
-            set_d = s.l1_sets[core][s.set1[li]]
-            resident = li in set_d
-            if resident and (line_addr in write_lines or moesi_c[li] == MOESI_I):
-                # Discard speculatively written data / stale retained lines.
-                self._remove_l1(core, li)
-                del set_d[li]
-                s.data[core][li] = None
-                resident = False
-            if member and (empty or not resident):
-                s.spec_mask[li] &= ~bit
+        for written, lines in ((True, write_lines), (False, txn.read_lines)):
+            for line_addr in lines:
+                if not written and line_addr in write_lines:
+                    continue
+                li = imap[line_addr]
+                member = (s.spec_mask[li] & bit) != 0
+                empty = self._clear_spec_entry(core, li) if member else True
+                s.pinned[core][li] = 0
+                set_d = s.l1_sets[core][s.set1[li]]
+                resident = li in set_d
+                if resident and (written or moesi_c[li] == MOESI_I):
+                    # Discard speculatively written / stale retained lines.
+                    self._remove_l1(core, li)
+                    del set_d[li]
+                    s.data[core][li] = None
+                    resident = False
+                if member and (empty or not resident):
+                    s.spec_mask[li] &= ~bit
         txn.mark_aborted(time, cause)
         self.active[core] = None
         self.sink.on_txn_abort(core, time, cause.value, txn.wasted_cycles)
@@ -906,17 +912,21 @@ class ArrayKernelMachine(HtmMachine):
         imap = s.intern_map
         moesi_c = s.moesi[core]
         bit = 1 << core
-        for line_addr in txn.footprint_lines:
-            li = imap[line_addr]
-            member = (s.spec_mask[li] & bit) != 0
-            empty = self._clear_spec_entry(core, li) if member else True
-            s.pinned[core][li] = 0
-            set_d = s.l1_sets[core][s.set1[li]]
-            resident = li in set_d
-            if resident and moesi_c[li] == MOESI_I:
-                # Invalidated-but-retained line: its data is stale, drop it.
-                del set_d[li]
-                s.data[core][li] = None
-                resident = False
-            if member and (empty or not resident):
-                s.spec_mask[li] &= ~bit
+        write_lines = txn.write_lines
+        for first, lines in ((True, write_lines), (False, txn.read_lines)):
+            for line_addr in lines:
+                if not first and line_addr in write_lines:
+                    continue
+                li = imap[line_addr]
+                member = (s.spec_mask[li] & bit) != 0
+                empty = self._clear_spec_entry(core, li) if member else True
+                s.pinned[core][li] = 0
+                set_d = s.l1_sets[core][s.set1[li]]
+                resident = li in set_d
+                if resident and moesi_c[li] == MOESI_I:
+                    # Invalidated-but-retained line: data is stale, drop it.
+                    del set_d[li]
+                    s.data[core][li] = None
+                    resident = False
+                if member and (empty or not resident):
+                    s.spec_mask[li] &= ~bit

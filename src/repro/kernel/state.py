@@ -93,6 +93,10 @@ class SimState:
         "l1_sets",
         "l2_sets",
         "l3_sets",
+        "txn_read_lines",
+        "txn_write_lines",
+        "txn_redo",
+        "txn_observed",
     )
 
     def __init__(self, config: SystemConfig) -> None:
@@ -132,6 +136,17 @@ class SimState:
         self.l1_sets = [[{} for _ in range(self.l1_nsets)] for _ in range(n)]
         self.l2_sets = [[{} for _ in range(self.l2_nsets)] for _ in range(n)]
         self.l3_sets = [[{} for _ in range(self.l3_nsets)] for _ in range(n)]
+        # Per-core transaction hot-state planes (the flat-txn runtime):
+        # the speculative read/write line sets, the redo log and the
+        # first-read observations of the core's *current* attempt.  The
+        # flat kernel's per-core ``Transaction`` views alias these
+        # containers and clear them in place on every new attempt, so the
+        # per-attempt dataclass allocation (and its four container
+        # allocations) disappears from the retry hot path.
+        self.txn_read_lines: list[set[int]] = [set() for _ in range(n)]
+        self.txn_write_lines: list[set[int]] = [set() for _ in range(n)]
+        self.txn_redo: list[dict[int, int]] = [{} for _ in range(n)]
+        self.txn_observed: list[dict[int, int]] = [{} for _ in range(n)]
 
     @property
     def n_lines(self) -> int:

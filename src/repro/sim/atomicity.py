@@ -78,13 +78,14 @@ class AtomicityChecker:
         """Validate one transactional load at observation time (opacity)."""
         if token == 0:
             return  # initial memory value
-        info = self.tokens.provenance(token)
-        if info is None:  # pragma: no cover - tokens are always registered
+        # writer_of is the flat-list fast path; no TokenInfo materialised.
+        writer = self.tokens.writer_of(token)
+        if writer is None:  # pragma: no cover - tokens are always registered
             return
-        if info.txn_uid == txn.uid:
+        if writer == txn.uid:
             return  # reading our own write (forwarded)
-        if not self.versions.is_committed(info.txn_uid):
-            status = "aborted" if self.versions.is_aborted(info.txn_uid) else "running"
+        if not self.versions.is_committed(writer):
+            status = "aborted" if self.versions.is_aborted(writer) else "running"
             self._record(
                 Violation(
                     kind="dirty-read",
@@ -93,7 +94,7 @@ class AtomicityChecker:
                     token=token,
                     detail=(
                         f"txn {txn.uid} (core {txn.core}) read token {token} "
-                        f"written by {status} txn {info.txn_uid} at word "
+                        f"written by {status} txn {writer} at word "
                         f"{word_addr:#x}"
                     ),
                 )
@@ -128,8 +129,8 @@ class AtomicityChecker:
         for word, hist in self._write_history.items():
             prev_writer: int | None = None
             for idx, token in enumerate(hist):
-                info = self.tokens.provenance(token)
-                writer = info.txn_uid if info is not None else 0
+                w = self.tokens.writer_of(token)
+                writer = w if w is not None else 0
                 position[token] = (word, idx)
                 if prev_writer is not None and prev_writer != writer:
                     edges.add((prev_writer, writer))  # WW
@@ -156,14 +157,14 @@ class AtomicityChecker:
                         )
                     )
                     continue
-                info = self.tokens.provenance(token)
-                writer = info.txn_uid if info is not None else 0
+                w = self.tokens.writer_of(token)
+                writer = w if w is not None else 0
                 next_idx = pos[1] + 1
             if writer != reader and writer != 0:
                 edges.add((writer, reader))  # RF
             if next_idx < len(hist):
-                info = self.tokens.provenance(hist[next_idx])
-                overwriter = info.txn_uid if info is not None else 0
+                w = self.tokens.writer_of(hist[next_idx])
+                overwriter = w if w is not None else 0
                 if overwriter != reader:
                     edges.add((reader, overwriter))  # RW
         cycle = _find_cycle(edges)

@@ -63,8 +63,11 @@ def test_owner_map_exact_mid_run():
     """The invariant holds at every step, not just at quiescence."""
     cfg = default_system(DetectionScheme.SUBBLOCK, 4)
     workload = get_workload("intruder", 8)
+    # micro_batch=False: the per-step hook below rides on _step, which the
+    # batched loop deliberately bypasses.
     engine = SimulationEngine(
-        cfg, workload.build(cfg.n_cores, 3), seed=3, check_atomicity=False
+        cfg, workload.build(cfg.n_cores, 3), seed=3, check_atomicity=False,
+        micro_batch=False,
     )
 
     checked = 0

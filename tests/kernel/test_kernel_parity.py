@@ -1,12 +1,14 @@
-"""Kernel-parity grid: the flat-array kernel is bit-identical to the
-object model.
+"""Kernel-parity grid: the array and flat-txn kernels are bit-identical
+to the object model.
 
 The array kernel (:mod:`repro.kernel`) re-implements the entire per-access
-protocol on flat arrays; these tests are the safety net the refactor
-leans on.  Every case runs the same workload through both kernels and
-requires *exact* equality of the counter summaries — not statistical
-closeness — plus, for the deep cases, the bus statistics, the committed
-memory image, and a clean MOESI invariant audit of the final array state.
+protocol on flat arrays, and the flat-txn kernel layers the recycled
+transaction planes and fused hot paths on top of it; these tests are the
+safety net both refactors lean on.  Every case runs the same workload
+through all three kernels and requires *exact* equality of the counter
+summaries — not statistical closeness — plus, for the deep cases, the bus
+statistics, the committed memory image, and a clean MOESI invariant audit
+of the final array state.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ import dataclasses
 import pytest
 
 from repro.config import DetectionScheme, default_system
-from repro.kernel import ArrayKernelMachine, build_machine
+from repro.kernel import ArrayKernelMachine, FlatTxnMachine, build_machine
 from repro.sim.engine import SimulationEngine
 from repro.sim.runner import run_workload
 from repro.workloads import get_workload
@@ -36,7 +38,10 @@ def _run(config, workload_name, *, txns=10, seed=3):
 
 def test_build_machine_dispatches_on_config():
     cfg = default_system()
-    assert isinstance(build_machine(cfg.with_kernel("array")), ArrayKernelMachine)
+    arr = build_machine(cfg.with_kernel("array"))
+    assert isinstance(arr, ArrayKernelMachine)
+    assert not isinstance(arr, FlatTxnMachine)
+    assert isinstance(build_machine(cfg.with_kernel("flat")), FlatTxnMachine)
     assert not isinstance(
         build_machine(cfg.with_kernel("object")), ArrayKernelMachine
     )
@@ -49,7 +54,8 @@ def test_kernel_parity_grid(scheme, workload):
     cfg = default_system().with_scheme(scheme)
     obj = _run(cfg.with_kernel("object"), workload)
     arr = _run(cfg.with_kernel("array"), workload)
-    assert obj.stats.summary() == arr.stats.summary()
+    flat = _run(cfg.with_kernel("flat"), workload)
+    assert obj.stats.summary() == arr.stats.summary() == flat.stats.summary()
 
 
 @pytest.mark.parametrize("scheme", SCHEMES + (DetectionScheme.DECOUPLED,),
@@ -59,21 +65,23 @@ def test_kernel_parity_deep(scheme):
     the array state passes the vectorized MOESI audit."""
     wl = get_workload("vacation", txns_per_core=12)
     engines = {}
-    for kernel in ("object", "array"):
+    for kernel in ("object", "array", "flat"):
         cfg = default_system().with_scheme(scheme).with_kernel(kernel)
         scripts = wl.build(cfg.n_cores, 3)
         eng = SimulationEngine(cfg, scripts, seed=3, check_atomicity=True)
         eng.run()
         engines[kernel] = eng
-    obj, arr = engines["object"], engines["array"]
+    obj, arr, flat = engines["object"], engines["array"], engines["flat"]
     assert isinstance(arr.machine, ArrayKernelMachine)
+    assert isinstance(flat.machine, FlatTxnMachine)
     assert not isinstance(obj.machine, ArrayKernelMachine)
-    assert obj.stats.summary() == arr.stats.summary()
-    assert dataclasses.asdict(obj.machine.bus.stats) == dataclasses.asdict(
-        arr.machine.bus.stats
-    )
-    assert dict(obj.machine.mem.memory) == dict(arr.machine.mem.memory)
-    arr.machine.state.audit_coherence()
+    assert obj.stats.summary() == arr.stats.summary() == flat.stats.summary()
+    for fast in (arr, flat):
+        assert dataclasses.asdict(obj.machine.bus.stats) == dataclasses.asdict(
+            fast.machine.bus.stats
+        )
+        assert dict(obj.machine.mem.memory) == dict(fast.machine.mem.memory)
+        fast.machine.state.audit_coherence()
 
 
 @pytest.mark.parametrize(
@@ -100,7 +108,10 @@ def test_kernel_parity_subblock_ablations(overrides):
     arr = run_workload(
         wl, config=cfg.with_kernel("array"), seed=3, check_atomicity=check
     )
-    assert obj.stats.summary() == arr.stats.summary()
+    flat = run_workload(
+        wl, config=cfg.with_kernel("flat"), seed=3, check_atomicity=check
+    )
+    assert obj.stats.summary() == arr.stats.summary() == flat.stats.summary()
 
 
 @pytest.mark.parametrize("workload", ("vacation", "intruder"))
@@ -115,4 +126,5 @@ def test_kernel_parity_older_wins(workload):
     )
     obj = _run(cfg.with_kernel("object"), workload)
     arr = _run(cfg.with_kernel("array"), workload)
-    assert obj.stats.summary() == arr.stats.summary()
+    flat = _run(cfg.with_kernel("flat"), workload)
+    assert obj.stats.summary() == arr.stats.summary() == flat.stats.summary()

@@ -1,39 +1,65 @@
-"""Property test: random access scripts agree across kernels.
+"""Property test: random access scripts agree across all three kernels.
 
 Hypothesis generates small multi-core transactional programs over a hot
-address space, runs each once through the object machine and once through
-the flat-array kernel, and requires the two :class:`RunSummary` dicts to
+address space and replays each through the object machine, the flat-array
+kernel, and the flat-txn kernel; the three :class:`RunSummary` dicts must
 be identical — every counter, not a statistical envelope.  This covers
 interleavings the curated parity grid cannot enumerate: conflicting
-sub-block overlaps, capacity pressure, retained speculative state,
-piggybacked fills, and abort/retry cascades.
+sub-block overlaps, user-requested aborts, capacity pressure up to the
+deterministic give-up point, retained speculative state, piggybacked
+fills, and abort/retry cascades.
+
+Capacity pressure is generated directly: a burst of K distinct lines in
+one L1 set (stride = sets x line = 32 KiB) all written by one
+transaction pins K ways.  With 2 nominal ways + 6 speculative overflow
+ways, K <= 8 commits after retries while K = 9 can never fit and must
+end in the same ``SimulationError`` on every kernel — the test asserts
+that error/success parity too, not just counter parity.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import DetectionScheme, default_system
+from repro.errors import SimulationError
 from repro.htm.ops import read_op, work_op, write_op
 from repro.sim.engine import SimulationEngine
 from repro.telemetry.summary import RunSummary
 from repro.workloads.base import CoreScript, ScriptedTxn
 
-N_CORES = 2
+MAX_CORES = 4
 LINES = [0x40000 + i * 64 for i in range(3)]  # tiny hot space -> conflicts
 OFFSETS = (0, 4, 8, 20, 32, 60)
 SIZES = (1, 4, 8)
+# Distinct lines mapping to one L1 set: 512 sets x 64 B lines.
+SET_STRIDE = 512 * 64
+CAP_BASE = 0x100000  # clear of LINES so bursts don't alias the hot space
+
+KERNELS = ("object", "array", "flat")
 
 
 @st.composite
-def scripts(draw):
-    """One random CoreScript per core (1-3 txns of 1-6 ops each)."""
+def programs(draw):
+    """(n_cores, scripts): 2-4 cores, 1-3 txns of 1-6 ops each.
+
+    Transactions may request user aborts on their first attempt and may
+    open with a same-set capacity burst (see module docstring).
+    """
+    n_cores = draw(st.integers(2, MAX_CORES))
     out = []
-    for core in range(N_CORES):
+    for core in range(n_cores):
         txns = []
         for _ in range(draw(st.integers(1, 3))):
             ops = []
+            if draw(st.integers(0, 9)) == 0:  # rare: capacity burst
+                k = draw(st.integers(3, 9))
+                ops.extend(
+                    write_op(CAP_BASE + i * SET_STRIDE, 4) for i in range(k)
+                )
             for _ in range(draw(st.integers(1, 6))):
                 kind = draw(st.sampled_from(["read", "write", "work"]))
                 if kind == "work":
@@ -48,41 +74,64 @@ def scripts(draw):
             if all(o.kind.name == "WORK" for o in ops):
                 ops.append(read_op(LINES[0], 4))  # empty-footprint guard
             txns.append(
-                ScriptedTxn(gap_cycles=draw(st.integers(0, 30)), ops=tuple(ops))
+                ScriptedTxn(
+                    gap_cycles=draw(st.integers(0, 30)),
+                    ops=tuple(ops),
+                    user_abort_attempts=draw(st.sampled_from((0, 0, 0, 1))),
+                )
             )
         out.append(CoreScript(core=core, txns=tuple(txns)))
-    return out
+    return n_cores, out
 
 
-def _summary(kernel, scheme, core_scripts, seed):
-    import dataclasses
-
+def _outcome(kernel, scheme, n_cores, core_scripts, seed):
+    """RunSummary dict on success, or a marker tuple on SimulationError."""
     cfg = default_system().with_scheme(scheme).with_kernel(kernel)
-    cfg = dataclasses.replace(cfg, n_cores=N_CORES)
+    cfg = dataclasses.replace(cfg, n_cores=n_cores)
     eng = SimulationEngine(cfg, core_scripts, seed=seed, check_atomicity=True)
-    eng.run()
+    try:
+        eng.run()
+    except SimulationError as exc:
+        return ("SimulationError", str(exc))
     return RunSummary.from_sink(eng.stats).to_dict()
 
 
+def _assert_parity(scheme, program, seed):
+    n_cores, core_scripts = program
+    ref = _outcome(KERNELS[0], scheme, n_cores, core_scripts, seed)
+    for kernel in KERNELS[1:]:
+        assert _outcome(kernel, scheme, n_cores, core_scripts, seed) == ref
+
+
 @settings(max_examples=40, deadline=None)
-@given(core_scripts=scripts(), seed=st.integers(0, 7))
-def test_random_scripts_identical_summaries_subblock(core_scripts, seed):
-    obj = _summary("object", DetectionScheme.SUBBLOCK, core_scripts, seed)
-    arr = _summary("array", DetectionScheme.SUBBLOCK, core_scripts, seed)
-    assert obj == arr
+@given(program=programs(), seed=st.integers(0, 7))
+def test_random_scripts_identical_summaries_subblock(program, seed):
+    _assert_parity(DetectionScheme.SUBBLOCK, program, seed)
 
 
 @settings(max_examples=25, deadline=None)
-@given(core_scripts=scripts(), seed=st.integers(0, 7))
-def test_random_scripts_identical_summaries_asf(core_scripts, seed):
-    obj = _summary("object", DetectionScheme.ASF_BASELINE, core_scripts, seed)
-    arr = _summary("array", DetectionScheme.ASF_BASELINE, core_scripts, seed)
-    assert obj == arr
+@given(program=programs(), seed=st.integers(0, 7))
+def test_random_scripts_identical_summaries_asf(program, seed):
+    _assert_parity(DetectionScheme.ASF_BASELINE, program, seed)
 
 
 @settings(max_examples=25, deadline=None)
-@given(core_scripts=scripts(), seed=st.integers(0, 7))
-def test_random_scripts_identical_summaries_decoupled(core_scripts, seed):
-    obj = _summary("object", DetectionScheme.DECOUPLED, core_scripts, seed)
-    arr = _summary("array", DetectionScheme.DECOUPLED, core_scripts, seed)
-    assert obj == arr
+@given(program=programs(), seed=st.integers(0, 7))
+def test_random_scripts_identical_summaries_decoupled(program, seed):
+    _assert_parity(DetectionScheme.DECOUPLED, program, seed)
+
+
+def test_capacity_burst_is_fatal_identically_on_all_kernels():
+    """K = 9 pinned same-set lines can never fit (2 ways + 6 overflow):
+    every kernel must give up with the same SimulationError."""
+    ops = tuple(write_op(CAP_BASE + i * SET_STRIDE, 4) for i in range(9))
+    scripts = [
+        CoreScript(core=0, txns=(ScriptedTxn(gap_cycles=0, ops=ops),)),
+        CoreScript(core=1, txns=(ScriptedTxn(gap_cycles=0, ops=(read_op(LINES[0], 4),)),)),
+    ]
+    outcomes = [
+        _outcome(k, DetectionScheme.SUBBLOCK, 2, scripts, seed=3)
+        for k in KERNELS
+    ]
+    assert outcomes[0][0] == "SimulationError"
+    assert outcomes[0] == outcomes[1] == outcomes[2]

@@ -68,6 +68,24 @@ class TestCommands:
         assert main(["run", "ssca2", "--txns", "8", "--all-schemes"]) == 0
         assert "decoupled" in capsys.readouterr().out
 
+    def test_run_profile(self, capsys):
+        assert main(["run", "ssca2", "--txns", "8", "--profile"]) == 0
+        out = capsys.readouterr().out
+        # Normal result table still prints, followed by the profile report
+        # with its machine/engine/telemetry phase attribution.
+        assert "improvement" in out
+        assert "cumulative" in out
+        assert "phase split" in out
+        assert "machine" in out and "engine" in out and "telemetry" in out
+
+    def test_run_kernel_flag(self, capsys):
+        parser = build_parser()
+        assert parser.parse_args(["run", "vacation"]).kernel == "flat"
+        for kernel in ("object", "array", "flat"):
+            assert parser.parse_args(
+                ["run", "vacation", "--kernel", kernel]
+            ).kernel == kernel
+
     def test_package_exports(self):
         import repro
 
