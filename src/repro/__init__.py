@@ -55,11 +55,17 @@ from repro.analysis.trace import (
     read_events,
 )
 from repro.config import (
+    POLICY_PRESETS,
     CacheConfig,
+    ConflictResolution,
     DetectionScheme,
+    DetectionTiming,
     HtmConfig,
+    HtmPolicy,
     LatencyConfig,
+    LazyArbitration,
     SystemConfig,
+    VersionMgmt,
     default_system,
 )
 from repro.errors import (
@@ -87,10 +93,15 @@ __all__ = [
     "BENCHMARK_NAMES",
     "CacheConfig",
     "ConfigError",
+    "ConflictResolution",
     "ConflictTimeline",
     "DetectionScheme",
+    "DetectionTiming",
     "HtmConfig",
+    "HtmPolicy",
     "LatencyConfig",
+    "LazyArbitration",
+    "POLICY_PRESETS",
     "ProtocolError",
     "ReproError",
     "ResultsStore",
@@ -103,6 +114,7 @@ __all__ = [
     "SystemConfig",
     "TraceHeader",
     "TraceReader",
+    "VersionMgmt",
     "WorkloadError",
     "__version__",
     "aggregate_metrics",

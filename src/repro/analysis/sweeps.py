@@ -31,7 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
-from repro.config import ConflictResolution, DetectionScheme, SystemConfig, default_system
+from repro.config import (
+    POLICY_PRESETS,
+    ConflictResolution,
+    DetectionScheme,
+    HtmPolicy,
+    SystemConfig,
+    default_system,
+)
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import RunResult
 from repro.workloads.base import Workload
@@ -45,6 +52,7 @@ __all__ = [
     "ablation_forced_waw",
     "sweep_backoff",
     "sweep_cores",
+    "sweep_policy_matrix",
     "sweep_resolution",
     "sweep_subblocks",
 ]
@@ -211,19 +219,58 @@ def sweep_resolution(
     store: "ResultsStore | None" = None,
     on_result=None,
 ) -> list[AblationPoint]:
-    """Requester-wins (ASF) vs older-wins conflict resolution.
+    """Requester-wins (ASF) vs older-wins vs stall/backoff resolution.
 
     The paper's machine aborts the probed ("earlier") transaction; this
-    sweep quantifies the choice against the classic age-based policy.
+    sweep quantifies the choice against the classic age-based policy and
+    the LogTM-style bounded-stall policy.
     """
     points = []
     for policy in ConflictResolution:
-        cfg = default_system(scheme, 4)
-        cfg = replace(cfg, htm=replace(cfg.htm, resolution=policy))
+        cfg = default_system(scheme, 4).with_policy(resolution=policy)
         points.append((policy.value, cfg))
     return _run_points(
         workload, points, seed, jobs=jobs, check=True, store=store,
         on_result=on_result,
+    )
+
+
+def sweep_policy_matrix(
+    workload: Workload,
+    schemes: tuple[DetectionScheme, ...] = (
+        DetectionScheme.ASF_BASELINE,
+        DetectionScheme.SUBBLOCK,
+    ),
+    policies: dict[str, HtmPolicy] | None = None,
+    seed: int = 1,
+    n_subblocks: int = 4,
+    config: SystemConfig | None = None,
+    jobs: int = 1,
+    store: "ResultsStore | None" = None,
+    on_result=None,
+) -> list[AblationPoint]:
+    """Scheme × policy grid: every detection scheme at every policy point.
+
+    The head-to-head view of the design-space explorer — how much
+    sub-blocking buys depends on the HTM regime it runs under (eager
+    ASF, eager/eager LogTM-style, lazy/lazy TCC-style, stall/backoff).
+    Points are labelled ``{scheme}×{policy}`` in row-major (scheme-major)
+    order.  ``policies`` defaults to :data:`repro.config.POLICY_PRESETS`
+    plus a stall/backoff variant of the ASF point.
+    """
+    if policies is None:
+        policies = dict(POLICY_PRESETS)
+        policies["stall"] = HtmPolicy(
+            resolution=ConflictResolution.STALL_BACKOFF
+        )
+    base = config if config is not None else default_system()
+    points = []
+    for scheme in schemes:
+        for name, policy in policies.items():
+            cfg = base.with_scheme(scheme, n_subblocks).with_policy(policy)
+            points.append((f"{scheme.value}×{name}", cfg))
+    return _run_points(
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result
     )
 
 

@@ -47,6 +47,7 @@ from repro.telemetry.events import (
     DirtyReprobeEvent,
     FillEvent,
     RunCompleteEvent,
+    StallEvent,
     TxnAbortEvent,
     TxnCommitEvent,
     TxnStartEvent,
@@ -116,6 +117,7 @@ def _decode_conflict(p: dict) -> ConflictEvent:
         victim_read_mask=p["victim_read_mask"],
         victim_write_mask=p["victim_write_mask"],
         forced_waw=p["forced_waw"],
+        at_commit=p.get("at_commit", False),
     )
 
 
@@ -135,6 +137,10 @@ _DECODERS = {
         is_write=p["is_write"], hit_l1=p["hit_l1"],
     ),
     "backoff": lambda p: BackoffEvent(core=p["core"], cycles=p["cycles"]),
+    "stall": lambda p: StallEvent(
+        core=p["core"], time=p["time"], cycles=p["cycles"],
+        aborted=p["aborted"],
+    ),
     "dirty_reprobe": lambda p: DirtyReprobeEvent(
         core=p["core"], line_addr=p["line_addr"], time=p["time"],
     ),
@@ -406,6 +412,8 @@ class ConflictTimeline:
             self.access_offsets[event.offset] += 1
         elif isinstance(event, BackoffEvent):
             c.on_backoff(event.core, event.cycles)
+        elif isinstance(event, StallEvent):
+            c.on_stall(event.core, event.time, event.cycles, event.aborted)
         elif isinstance(event, DirtyReprobeEvent):
             c.on_dirty_reprobe(event.core, event.line_addr, event.time)
         elif isinstance(event, FillEvent):

@@ -7,6 +7,8 @@ Subcommands::
     repro-asf suite --txns 200           # every figure/table, printed
     repro-asf overhead --subblocks 4     # Section IV-E cost model
     repro-asf sweep vacation             # closed-loop sub-block sweep
+    repro-asf sweep vacation --axis policy   # scheme × policy matrix
+    repro-asf policies                   # the supported HTM policy matrix
     repro-asf ablate genome              # dirty-state + forced-WAW ablations
     repro-asf save-scripts ssca2 out.jsonl   # compile + serialize a program
     repro-asf replay out.jsonl           # simulate a serialized program
@@ -29,6 +31,11 @@ finishes; re-invoking with ``--resume`` skips the runs already stored,
 so an interrupted sweep picks up where it died.  A live ``[done/total]``
 progress line (stderr, TTY only) is fed by the streaming executor.
 
+``--policy {asf,eager,lazy}`` (plus ``--resolution`` / ``--arbitration``
+overrides) selects the HTM policy point on every simulating subcommand;
+``repro-asf policies`` prints the full matrix.  The default is the
+paper's ASF machine.
+
 The CLI is a thin veneer over the library; anything it prints is computed
 by :mod:`repro.analysis`.
 """
@@ -44,9 +51,21 @@ from repro.analysis.report import render_all, render_seed_figures
 from repro.analysis.sweeps import (
     ablation_dirty_state,
     ablation_forced_waw,
+    sweep_policy_matrix,
     sweep_subblocks,
 )
-from repro.config import KERNELS, DetectionScheme, SystemConfig, default_system
+from repro.config import (
+    KERNELS,
+    POLICY_PRESETS,
+    ConflictResolution,
+    DetectionScheme,
+    DetectionTiming,
+    HtmPolicy,
+    LazyArbitration,
+    SystemConfig,
+    VersionMgmt,
+    default_system,
+)
 from repro.core.overhead import OverheadModel
 from repro.sim.runner import compare_systems, compare_systems_seeds, run_scripts
 from repro.telemetry import aggregate_metrics
@@ -129,6 +148,41 @@ def _analyze_trace_dir(trace_dir: str | None) -> None:
             f"\n[trace-dir] {len(traces)} traces recorded and analyzed in "
             f"{trace_dir} (one .report.txt per trace)"
         )
+
+
+def _policy_from_args(args) -> HtmPolicy | None:
+    """The HtmPolicy the CLI flags select, or None for the ASF default.
+
+    ``--policy`` picks a preset; ``--resolution`` / ``--arbitration``
+    override individual axes on top of it, so e.g.
+    ``--policy lazy --arbitration polite`` is a valid matrix point.
+    """
+    name = getattr(args, "policy", None)
+    resolution = getattr(args, "resolution", None)
+    arbitration = getattr(args, "arbitration", None)
+    if (name in (None, "asf")) and resolution is None and arbitration is None:
+        return None
+    policy = POLICY_PRESETS[name or "asf"]
+    overrides = {}
+    if resolution is not None:
+        overrides["resolution"] = ConflictResolution(resolution)
+    if arbitration is not None:
+        overrides["lazy_arbitration"] = LazyArbitration(arbitration)
+    if overrides:
+        from dataclasses import replace
+
+        policy = replace(policy, **overrides)
+    return policy
+
+
+def _apply_policy(cfg: SystemConfig, args) -> SystemConfig:
+    policy = _policy_from_args(args)
+    return cfg if policy is None else cfg.with_policy(policy)
+
+
+def _base_config(args) -> SystemConfig:
+    """``default_system()`` with the CLI's kernel + policy flags applied."""
+    return _apply_policy(default_system().with_kernel(args.kernel), args)
 
 
 def _result_rows(results, base):
@@ -235,7 +289,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         try:
             by_scheme = compare_systems_seeds(
                 workload, seeds, n_subblocks=args.subblocks,
-                config=default_system().with_kernel(args.kernel),
+                config=_base_config(args),
                 check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
                 store=store, on_result=progress, trace_dir=args.trace_dir,
             )
@@ -273,7 +327,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
     try:
         results = compare_systems(
             workload, seed=args.seed, n_subblocks=args.subblocks,
-            config=default_system().with_kernel(args.kernel),
+            config=_base_config(args),
             check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
             store=store, on_result=progress, trace_dir=args.trace_dir,
         )
@@ -300,7 +354,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         progress = _ProgressLine(n_suite)
         suite = run_suite(
             txns_per_core=args.txns, seed=args.seed, jobs=args.jobs,
-            config=default_system().with_kernel(args.kernel),
+            config=_base_config(args),
             store=store, on_result=progress, trace_dir=args.trace_dir,
         )
         progress.finish()
@@ -310,7 +364,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             progress = _ProgressLine(n_suite * len(seeds))
             sweep = run_seed_sweep(
                 txns_per_core=args.txns, seeds=seeds, jobs=args.jobs,
-                config=default_system().with_kernel(args.kernel),
+                config=_base_config(args),
                 store=store, on_result=progress,
             )
             progress.finish()
@@ -328,9 +382,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.sim.runner import run_workload
 
     workload = get_workload(args.benchmark, args.txns)
-    cfg = default_system(
-        DetectionScheme(args.scheme), args.subblocks
-    ).with_kernel(args.kernel).with_telemetry(
+    cfg = _apply_policy(
+        default_system(DetectionScheme(args.scheme), args.subblocks)
+        .with_kernel(args.kernel),
+        args,
+    ).with_telemetry(
         sink="trace", trace_path=args.path, trace_accesses=args.accesses,
     )
     res = run_workload(workload, cfg, seed=args.seed, check_atomicity=False)
@@ -435,13 +491,15 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
+    if args.axis == "policy":
+        return _cmd_sweep_policy(args, workload)
     counts = tuple(int(c) for c in args.counts.split(","))
     store = _open_store(args)
     progress = _ProgressLine(len(counts))
     try:
         points = sweep_subblocks(
             workload, counts=counts, seed=args.seed, jobs=args.jobs,
-            config=default_system().with_kernel(args.kernel),
+            config=_base_config(args),
             store=store, on_result=progress,
         )
     finally:
@@ -470,9 +528,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_policy(args: argparse.Namespace, workload) -> int:
+    """Scheme × policy grid: the design-space explorer's head-to-head view."""
+    schemes = (
+        DetectionScheme.ASF_BASELINE,
+        DetectionScheme.SUBBLOCK,
+    )
+    policies = dict(POLICY_PRESETS)
+    policies["stall"] = HtmPolicy(resolution=ConflictResolution.STALL_BACKOFF)
+    store = _open_store(args)
+    progress = _ProgressLine(len(schemes) * len(policies))
+    try:
+        points = sweep_policy_matrix(
+            workload, schemes=schemes, policies=policies, seed=args.seed,
+            config=default_system().with_kernel(args.kernel),
+            jobs=args.jobs, store=store, on_result=progress,
+        )
+    finally:
+        progress.finish()
+        if store is not None:
+            store.close()
+    by_label = {p.label: p for p in points}
+    rows = []
+    for scheme in schemes:
+        for name, policy in policies.items():
+            p = by_label[f"{scheme.value}×{name}"]
+            rows.append(
+                (
+                    scheme.value,
+                    name,
+                    policy.describe(),
+                    p.stats.txn_commits,
+                    p.stats.conflicts.total,
+                    percent(p.stats.conflicts.false_rate),
+                    p.stats.stalls + p.stats.stall_aborts,
+                    p.stats.execution_cycles,
+                )
+            )
+    print(
+        format_table(
+            ("scheme", "policy", "point", "commits", "conflicts",
+             "false rate", "stalls", "cycles"),
+            rows,
+            title=f"Scheme × policy matrix: {args.benchmark} "
+            f"(seed {args.seed}, {args.txns} txns/core)",
+        )
+    )
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    """Print the supported policy matrix and mark the paper's ASF point."""
+    preset_by_point = {
+        (p.version_mgmt, p.conflict_detection, p.resolution): name
+        for name, p in POLICY_PRESETS.items()
+    }
+    rows = []
+    for vm in VersionMgmt:
+        for cd in DetectionTiming:
+            if vm is VersionMgmt.EAGER and cd is DetectionTiming.LAZY:
+                continue  # invalid: in-place stores cannot defer detection
+            for res in ConflictResolution:
+                preset = preset_by_point.get((vm, cd, res), "")
+                notes = []
+                if preset:
+                    notes.append(f"--policy {preset}")
+                if preset == "asf":
+                    notes.append("the paper's ASF machine")
+                if cd is DetectionTiming.LAZY:
+                    notes.append("--arbitration committer_wins|polite")
+                rows.append(
+                    (vm.value, cd.value, res.value, preset, "; ".join(notes))
+                )
+    print(
+        format_table(
+            ("version mgmt", "detection", "resolution", "preset", "notes"),
+            rows,
+            title="Supported HTM policy matrix (version management × "
+            "conflict detection × resolution)",
+        )
+    )
+    print(
+        "\nEager version management + lazy detection is rejected: stores\n"
+        "published in place need eager probes to stay correct.  The paper's\n"
+        "ASF machine is the lazy-vm/eager-cd/requester_wins point (`--policy\n"
+        "asf`, the default).  Stall/backoff parks the requester for a bounded\n"
+        "number of turns before the deadlock-avoidance fallback abort;\n"
+        "lazy-detection commits arbitrate committer-wins (or `polite`, where\n"
+        "the committer publishes without aborting anyone and doomed readers\n"
+        "fail their own commit-time validation)."
+    )
+    return 0
+
+
 def _cmd_ablate(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
-    cfg = default_system().with_kernel(args.kernel)
+    cfg = _base_config(args)
     on, off = ablation_dirty_state(
         workload, seed=args.seed, config=cfg, jobs=args.jobs
     )
@@ -517,7 +668,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         DetectionScheme.ASF_BASELINE, DetectionScheme.SUBBLOCK,
         DetectionScheme.PERFECT,
     ):
-        cfg = default_system(scheme, args.subblocks).with_kernel(args.kernel)
+        cfg = _apply_policy(
+            default_system(scheme, args.subblocks).with_kernel(args.kernel),
+            args,
+        )
         results[scheme.value] = run_scripts(
             scripts, cfg, args.seed, workload_name=args.path,
             check_atomicity=args.check,
@@ -546,6 +700,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list the Table III benchmarks")
     p_list.set_defaults(func=_cmd_list)
 
+    def policy_flags(p):
+        p.add_argument(
+            "--policy", choices=sorted(POLICY_PRESETS), default="asf",
+            help="HTM policy preset: the paper's ASF point (default), "
+            "eager/eager LogTM-style, or lazy/lazy TCC-style "
+            "(see `repro-asf policies`)",
+        )
+        p.add_argument(
+            "--resolution",
+            choices=[r.value for r in ConflictResolution], default=None,
+            help="override the conflict-resolution axis of --policy",
+        )
+        p.add_argument(
+            "--arbitration",
+            choices=[a.value for a in LazyArbitration], default=None,
+            help="override the lazy-commit arbitration axis of --policy "
+            "(lazy detection only)",
+        )
+
     def common(p, bench=True, seeds=False, checkpoint=False, trace_dir=False):
         if bench:
             p.add_argument("benchmark", choices=BENCHMARK_NAMES)
@@ -557,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
             "flat-array kernel, or the reference object model "
             "(bit-identical results)",
         )
+        policy_flags(p)
         p.add_argument(
             "--jobs", "-j", type=int, default=1,
             help="worker processes for independent runs "
@@ -665,10 +839,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_ovh.add_argument("--subblocks", type=int, default=4)
     p_ovh.set_defaults(func=_cmd_overhead)
 
-    p_sweep = sub.add_parser("sweep", help="closed-loop sub-block sweep")
+    p_sweep = sub.add_parser(
+        "sweep", help="closed-loop sub-block or policy-matrix sweep"
+    )
     common(p_sweep, checkpoint=True)
     p_sweep.add_argument("--counts", default="1,2,4,8,16")
+    p_sweep.add_argument(
+        "--axis", choices=("subblocks", "policy"), default="subblocks",
+        help="sweep axis: sub-block count (default) or the scheme × "
+        "policy matrix",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_pol = sub.add_parser(
+        "policies", help="print the supported HTM policy matrix"
+    )
+    p_pol.set_defaults(func=_cmd_policies)
 
     p_abl = sub.add_parser("ablate", help="dirty-state / forced-WAW ablations")
     common(p_abl)
@@ -691,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--subblocks", type=int, default=4)
     p_replay.add_argument("--check", action="store_true")
     p_replay.add_argument("--all-schemes", action="store_true")
+    policy_flags(p_replay)
     p_replay.set_defaults(func=_cmd_replay)
 
     return parser

@@ -25,12 +25,17 @@ __all__ = [
     "CacheConfig",
     "ConflictResolution",
     "DetectionScheme",
+    "DetectionTiming",
     "HtmConfig",
+    "HtmPolicy",
     "KERNELS",
     "LatencyConfig",
+    "LazyArbitration",
+    "POLICY_PRESETS",
     "SystemConfig",
     "TABLE2_DESCRIPTION",
     "TelemetryConfig",
+    "VersionMgmt",
     "default_system",
 ]
 
@@ -50,10 +55,134 @@ class ConflictResolution(enum.Enum):
     * ``OLDER_WINS`` — age-based: if the victim started earlier, the
       *requester* aborts instead (classic livelock-avoidance policy;
       offered as a design-space ablation).
+    * ``STALL_BACKOFF`` — the requester neither kills nor dies: it parks
+      in a bounded stall queue and retries the access after a
+      deterministic delay (LogTM-style).  Exhausting the per-attempt
+      stall budget or overflowing the queue falls back to aborting the
+      requester, which guarantees deadlock freedom.
     """
 
     REQUESTER_WINS = "requester_wins"
     OLDER_WINS = "older_wins"
+    STALL_BACKOFF = "stall_backoff"
+
+
+class VersionMgmt(enum.Enum):
+    """Where speculative store values live until commit.
+
+    * ``LAZY`` — ASF's write buffering: stores collect in a redo log and
+      publish at commit (abort discards the log).
+    * ``EAGER`` — LogTM-style in-place update: stores publish to memory
+      immediately and record the overwritten value in an undo log
+      (commit discards the log, abort rolls it back).  Requires eager
+      conflict detection — in-place speculative values must never be
+      visible to transactions that could still commit around them.
+    """
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+class DetectionTiming(enum.Enum):
+    """When conflicts are detected.
+
+    * ``EAGER`` — at access time, on coherence probes (ASF).
+    * ``LAZY`` — at commit time: probes never abort anyone; the
+      committer value-validates its read set and (policy permitting)
+      arbitrates against still-running transactions.
+    """
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+class LazyArbitration(enum.Enum):
+    """How a lazy-detection commit treats overlapping running transactions.
+
+    * ``COMMITTER_WINS`` — the committer aborts every running transaction
+      whose speculative footprint overlaps its write set (TCC-style).
+    * ``POLITE`` — the committer publishes and leaves the others alone;
+      doomed readers discover the overwrite when their own commit-time
+      validation fails.
+    """
+
+    COMMITTER_WINS = "committer_wins"
+    POLITE = "polite"
+
+
+@dataclass(frozen=True, slots=True)
+class HtmPolicy:
+    """One point of the HTM design-space matrix (gem5-style axes).
+
+    The default instance *is* AMD ASF: lazy versioning, eager
+    line-granular detection, requester-wins resolution.  Every other
+    combination is a design-space excursion the engine runs through the
+    same three kernels.  The stall knobs only matter under
+    ``ConflictResolution.STALL_BACKOFF``; ``lazy_arbitration`` only
+    under ``DetectionTiming.LAZY``.
+
+    * ``stall_cycles`` — base retry delay for one stall (scaled by how
+      many cores are already queued, which breaks symmetric livelock
+      deterministically without consuming RNG draws).
+    * ``stall_limit`` — stalls one transaction attempt may take before
+      the deadlock-avoidance fallback aborts the requester.
+    * ``stall_queue_depth`` — machine-wide bound on simultaneously
+      stalled cores; overflow also falls back to a requester abort.
+    """
+
+    version_mgmt: VersionMgmt = VersionMgmt.LAZY
+    conflict_detection: DetectionTiming = DetectionTiming.EAGER
+    resolution: ConflictResolution = ConflictResolution.REQUESTER_WINS
+    lazy_arbitration: LazyArbitration = LazyArbitration.COMMITTER_WINS
+    stall_cycles: int = 24
+    stall_limit: int = 8
+    stall_queue_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if (
+            self.version_mgmt is VersionMgmt.EAGER
+            and self.conflict_detection is DetectionTiming.LAZY
+        ):
+            raise ConfigError(
+                "eager version management requires eager conflict detection "
+                "(in-place speculative values must not survive undetected)"
+            )
+        if self.stall_cycles <= 0:
+            raise ConfigError("stall_cycles must be positive")
+        if self.stall_limit <= 0:
+            raise ConfigError("stall_limit must be positive")
+        if self.stall_queue_depth <= 0:
+            raise ConfigError("stall_queue_depth must be positive")
+
+    @property
+    def is_asf(self) -> bool:
+        """Whether this point reproduces the paper's ASF regime."""
+        return (
+            self.version_mgmt is VersionMgmt.LAZY
+            and self.conflict_detection is DetectionTiming.EAGER
+            and self.resolution is ConflictResolution.REQUESTER_WINS
+        )
+
+    def describe(self) -> str:
+        """Compact ``vm/cd/res`` label used by sweeps and reports."""
+        out = (
+            f"{self.version_mgmt.value}-vm/"
+            f"{self.conflict_detection.value}-cd/"
+            f"{self.resolution.value}"
+        )
+        if self.conflict_detection is DetectionTiming.LAZY:
+            out += f"/{self.lazy_arbitration.value}"
+        return out
+
+
+#: Named policy points offered by the CLI's ``--policy`` flag.  ``asf``
+#: is the paper's regime (and the config default); ``eager`` is a
+#: LogTM-style eager/eager point; ``lazy`` a TCC-style lazy/lazy point.
+POLICY_PRESETS: dict[str, HtmPolicy] = {
+    "asf": HtmPolicy(),
+    "eager": HtmPolicy(version_mgmt=VersionMgmt.EAGER),
+    "lazy": HtmPolicy(conflict_detection=DetectionTiming.LAZY),
+}
 
 
 class DetectionScheme(enum.Enum):
@@ -161,17 +290,18 @@ class HtmConfig:
     # without sub-block overlap (True = the implementable hardware; False
     # = idealised, quantifies what the accepted WAW false conflicts cost).
     forced_waw_abort: bool = True
-    resolution: "ConflictResolution" = None  # type: ignore[assignment]
+    policy: HtmPolicy = field(default_factory=HtmPolicy)
     backoff_base_cycles: int = 64
     backoff_cap_cycles: int = 8192
     backoff_jitter: float = 0.5
     max_retries: int | None = None
 
+    @property
+    def resolution(self) -> ConflictResolution:
+        """The policy's resolution axis (the machines' hot-path read)."""
+        return self.policy.resolution
+
     def __post_init__(self) -> None:
-        if self.resolution is None:
-            object.__setattr__(
-                self, "resolution", ConflictResolution.REQUESTER_WINS
-            )
         if self.n_subblocks <= 0:
             raise ConfigError(f"n_subblocks must be positive, got {self.n_subblocks}")
         if self.backoff_base_cycles <= 0:
@@ -295,6 +425,19 @@ class SystemConfig:
         """A copy running on a different machine kernel (same semantics)."""
         return replace(self, kernel=kernel)
 
+    def with_policy(
+        self, policy: HtmPolicy | None = None, **overrides
+    ) -> "SystemConfig":
+        """A copy running a different HTM policy point (same machine).
+
+        Pass a whole :class:`HtmPolicy`, field overrides, or both (the
+        overrides apply on top of the given policy).
+        """
+        base = self.htm.policy if policy is None else policy
+        if overrides:
+            base = replace(base, **overrides)
+        return replace(self, htm=replace(self.htm, policy=base))
+
     def describe(self) -> str:
         """Human-readable machine description (regenerates Table II)."""
         lines = [
@@ -312,6 +455,7 @@ class SystemConfig:
                 if self.htm.scheme is DetectionScheme.SUBBLOCK
                 else ""
             ),
+            f"HTM policy      {self.htm.policy.describe()}",
         ]
         return "\n".join(lines)
 

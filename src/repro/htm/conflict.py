@@ -62,7 +62,9 @@ class ConflictRecord:
     sub-blocking's "abort anyway, speculative data would be lost" rule
     (Section IV-D-2).  ``time`` is the global cycle of the probing access
     and ``line_index`` the dense line number used by the Figure 4
-    histogram.
+    histogram.  ``at_commit`` marks lazy-detection arbitration: the
+    "requester" is a committing transaction and the victim was killed by
+    its commit broadcast rather than by an access-time probe.
     """
 
     time: int
@@ -79,6 +81,7 @@ class ConflictRecord:
     victim_read_mask: int
     victim_write_mask: int
     forced_waw: bool = False
+    at_commit: bool = False
 
     @property
     def overlap_mask(self) -> int:

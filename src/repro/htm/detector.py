@@ -119,6 +119,20 @@ class ConflictDetector(ABC):
         so later probes can still detect conflicts)."""
         return False
 
+    def abstains_from_supply(self, st: SpecLineState) -> bool:
+        """Whether a cache holding this line must not supply it
+        cache-to-cache.  Default: Dirty-marked sub-blocks (stale
+        speculatively-forwarded words).  Lazy detection adds
+        speculatively written lines — their data is uncommitted."""
+        return st.any_dirty
+
+    def arbitrate(self, st: SpecLineState, write_mask: int) -> ProbeCheck:
+        """Commit-time arbitration check (lazy detection): does a
+        committing transaction's published write mask collide with this
+        line's speculative state?  Defaults to the scheme's invalidating
+        probe rule so arbitration runs at detection granularity."""
+        return self.check_probe(st, write_mask, True)
+
     # -- lifecycle -------------------------------------------------------------
 
     def clear_spec(self, st: SpecLineState) -> bool:

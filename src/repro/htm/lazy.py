@@ -1,0 +1,79 @@
+"""Lazy-conflict-detection policy wrapper for any detector.
+
+Under ``DetectionTiming.LAZY`` coherence traffic still flows (stores
+invalidate, loads demote) but probes never abort anyone: conflicts are
+deferred to commit, where the committer value-validates its read set and
+— under committer-wins arbitration — kills overlapping running
+transactions at the wrapped scheme's detection granularity.
+
+:class:`LazyPolicyDetector` implements that by wrapping the configured
+scheme detector: footprint recording and commit arbitration delegate to
+the scheme (so scheme × policy grids stay meaningful), while every
+access-time hazard hook is neutralised:
+
+* ``check_probe`` never conflicts — probed transactions survive;
+* ``retains_on_invalidate`` keeps all speculative state, so a victim of
+  a coherence invalidation still validates and arbitrates correctly;
+* ``data_stale``/``rr_hit``/``dirty_hit`` are off — the Dirty/rr
+  machinery exists to make *eager* probe detection sound, which lazy
+  commits do not need;
+* ``piggyback_mask`` is 0 — no speculative forwarding metadata travels;
+* ``abstains_from_supply`` is true for any speculatively written line:
+  its cached words are uncommitted tokens that must never be forwarded
+  (backing memory, always committed-clean, responds instead);
+* ``requires_commit_validation`` is True, switching every kernel's
+  commit path onto the value-validation branch.
+"""
+
+from __future__ import annotations
+
+from repro.htm.detector import ConflictDetector, ProbeCheck
+from repro.htm.specstate import SpecLineState
+
+__all__ = ["LazyPolicyDetector"]
+
+_NO_CONFLICT = ProbeCheck(conflict=False)
+
+
+class LazyPolicyDetector(ConflictDetector):
+    """Defer a wrapped scheme's conflict detection to commit time."""
+
+    requires_commit_validation = True
+
+    def __init__(self, inner: ConflictDetector) -> None:
+        self.inner = inner
+        self.name = f"lazy({inner.name})"
+
+    # -- footprint recording delegates to the scheme ------------------------
+
+    def _record_read_bits(self, st: SpecLineState, mask: int) -> None:
+        self.inner._record_read_bits(st, mask)
+
+    def _record_write_bits(self, st: SpecLineState, mask: int) -> None:
+        self.inner._record_write_bits(st, mask)
+
+    # -- access-time hazards are neutralised --------------------------------
+
+    def check_probe(
+        self, st: SpecLineState, probe_mask: int, invalidating: bool
+    ) -> ProbeCheck:
+        return _NO_CONFLICT
+
+    def retains_on_invalidate(self, st: SpecLineState) -> bool:
+        return st.any_spec
+
+    def abstains_from_supply(self, st: SpecLineState) -> bool:
+        return st.any_dirty or self.inner.has_spec_write(st)
+
+    # -- commit-time arbitration runs at the scheme's granularity -----------
+
+    def arbitrate(self, st: SpecLineState, write_mask: int) -> ProbeCheck:
+        return self.inner.check_probe(st, write_mask, True)
+
+    # -- lifecycle delegates -------------------------------------------------
+
+    def clear_spec(self, st: SpecLineState) -> bool:
+        return self.inner.clear_spec(st)
+
+    def has_spec_write(self, st: SpecLineState) -> bool:
+        return self.inner.has_spec_write(st)

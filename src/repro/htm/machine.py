@@ -20,14 +20,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import ConflictResolution, SystemConfig
+from repro.config import (
+    ConflictResolution,
+    DetectionTiming,
+    LazyArbitration,
+    SystemConfig,
+    VersionMgmt,
+)
 from repro.errors import ProtocolError
 from repro.htm.conflict import ConflictRecord, classify_type
 from repro.htm.detector import ConflictDetector, make_detector
 from repro.htm.ops import TxnOp
 from repro.htm.specstate import SpecLineState
 from repro.htm.txn import AbortCause, Transaction
-from repro.htm.versioning import TokenAllocator, VersionTracker
+from repro.htm.versioning import TokenAllocator, VersionTracker, restore_undo
 from repro.mem.address import WORD_SIZE, AddressMap
 from repro.mem.bus import ProbeKind, ProbeRequest, SnoopBus
 from repro.mem.hierarchy import MemorySystem
@@ -54,10 +60,11 @@ SPEC_OVERFLOW_WAYS = 6
 
 
 class _RequesterAborted(Exception):
-    """Internal: an OLDER_WINS resolution aborted the probing requester.
+    """Internal: conflict resolution aborted the probing requester.
 
-    Carries the conflict records already produced by the probe so the
-    access outcome still reports them.
+    Raised by the OLDER_WINS age rule and by the stall policy's
+    deadlock-avoidance fallback.  Carries the conflict records already
+    produced by the probe so the access outcome still reports them.
     """
 
     def __init__(self, cause: AbortCause, records: list[ConflictRecord]) -> None:
@@ -66,15 +73,34 @@ class _RequesterAborted(Exception):
         self.records = records
 
 
+class _RequesterStalled(Exception):
+    """Internal: a STALL_BACKOFF requester parked instead of resolving.
+
+    No transaction aborted and no conflict was recorded; the access must
+    be retried in ``cycles`` — the engine replays the same op without
+    advancing the program counter.
+    """
+
+    def __init__(self, cycles: int) -> None:
+        super().__init__(str(cycles))
+        self.cycles = cycles
+
+
 @dataclass(slots=True)
 class AccessOutcome:
-    """Result of one transactional or plain memory access."""
+    """Result of one transactional or plain memory access.
+
+    ``stall_cycles`` is nonzero only under the stall/backoff resolution
+    policy: the access did not retire — the engine must replay the same
+    operation after that many cycles without advancing the transaction.
+    """
 
     latency: int
     hit_l1: bool
     conflicts: list[ConflictRecord] = field(default_factory=list)
     self_abort: AbortCause | None = None
     dirty_reprobe: bool = False
+    stall_cycles: int = 0
 
     @property
     def ok(self) -> bool:
@@ -101,6 +127,26 @@ class HtmMachine:
         self.stats = self.sink
         self.checker = checker
         self.detector = detector if detector is not None else make_detector(config)
+        # Policy-matrix axes, specialized once at construction so the
+        # default ASF point pays a single flag test per branch site.
+        policy = config.htm.policy
+        self.policy = policy
+        self._lazy_cd = policy.conflict_detection is DetectionTiming.LAZY
+        self._eager_vm = policy.version_mgmt is VersionMgmt.EAGER
+        self._stall_res = policy.resolution is ConflictResolution.STALL_BACKOFF
+        self._committer_wins = (
+            policy.lazy_arbitration is LazyArbitration.COMMITTER_WINS
+        )
+        if self._lazy_cd:
+            from repro.htm.lazy import LazyPolicyDetector
+
+            self.detector = LazyPolicyDetector(self.detector)
+        # Stall queue state (STALL_BACKOFF only): which cores are parked,
+        # how many in total (bounded by the policy's queue depth), and the
+        # per-attempt stall budget that triggers the fallback abort.
+        self._stalled = [False] * config.n_cores
+        self._stall_count = 0
+        self._stall_budget = [0] * config.n_cores
         self.mem = MemorySystem(config)
         self.mem.sink = self.sink
         self.bus = SnoopBus(config.n_cores)
@@ -145,6 +191,8 @@ class HtmMachine:
         if txn.core != core:
             raise ProtocolError("transaction bound to a different core")
         self.active[core] = txn
+        if self._stall_res:
+            self._stall_budget[core] = self.policy.stall_limit
         self.sink.on_txn_start(core, txn.start_time, txn.attempt, txn.static_id)
 
     def commit(self, core: int, time: int) -> Transaction:
@@ -159,13 +207,27 @@ class HtmMachine:
             return self._abort(core, time, AbortCause.VALIDATION)
         if self.checker is not None:
             self.checker.validate_commit(txn, self.mem.memory)
-        redo = txn.redo
-        if redo:
-            # Inlined mem_write_word: redo keys are built word-aligned by
-            # _apply_store, so the alignment guard cannot fire here.
-            memory = self.mem.memory
-            for word_addr, token in redo.items():
-                memory[word_addr] = token
+        if self._lazy_cd and self._committer_wins:
+            self._commit_arbitrate(core, txn, time)
+        if self._eager_vm:
+            # In-place stores already published; the undo log just dies.
+            txn.undo.clear()
+        else:
+            redo = txn.redo
+            if redo:
+                # Inlined mem_write_word: redo keys are built word-aligned by
+                # _apply_store, so the alignment guard cannot fire here.
+                memory = self.mem.memory
+                for word_addr, token in redo.items():
+                    memory[word_addr] = token
+        if self._lazy_cd:
+            # Commit broadcast (TCC-style): remote copies of the write
+            # set refilled after the store-time invalidation (suppliers
+            # abstain from spec-written lines, so those fills carried the
+            # old committed data) go stale the moment the redo log
+            # publishes.  Without this, a retrying reader re-validates
+            # against its stale cached copy forever (livelock).
+            self._commit_invalidate(core, txn)
         self.versions.on_commit(txn.uid)
         self._release_spec_lines(core, txn)
         txn.mark_committed(time)
@@ -186,10 +248,71 @@ class HtmMachine:
         never in ``observed``, so they do not self-invalidate.
         """
         memory = self.mem.memory
+        undo = txn.undo if self._eager_vm else None
         for word_addr, token in txn.observed.items():
+            if undo is not None and word_addr in undo:
+                # This transaction published in place after reading; the
+                # pre-image it overwrote is in the undo log.  Compare
+                # against that, not against its own uncommitted token.
+                if undo[word_addr] != token:
+                    return False
+                continue
             if memory.get(word_addr, 0) != token:
                 return False
         return True
+
+    def _commit_arbitrate(self, core: int, txn: Transaction, time: int) -> None:
+        """Lazy-detection committer-wins arbitration (TCC-style).
+
+        The committing transaction's write set is checked — at the
+        detection scheme's granularity — against every other running
+        transaction's speculative state; overlapping victims abort with
+        an ``at_commit`` conflict record.  Lines are walked in sorted
+        order and victims in snoop delivery order so all three kernels
+        arbitrate identically.
+        """
+        for line_addr in sorted(txn.write_lines):
+            st = self.spec_tables[core].get(line_addr)
+            mask = st.write_mask if st is not None else 0
+            if not mask:
+                continue
+            if self.use_sharer_index:
+                targets = self._rr_order(core, self.spec_holders.get(line_addr, 0))
+            else:
+                targets = self.bus.snoop_order(core)
+            for r in targets:
+                rst = self.spec_tables[r].get(line_addr)
+                if rst is None:
+                    continue
+                victim = self.active[r]
+                if victim is None or rst.owner_txn != victim.uid:
+                    continue
+                check = self.detector.arbitrate(rst, mask)
+                if not check.conflict:
+                    continue
+                is_false = (mask & (rst.write_mask | rst.read_mask)) == 0
+                rec = ConflictRecord(
+                    time=time,
+                    requester_core=core,
+                    victim_core=r,
+                    requester_txn=txn.uid,
+                    victim_txn=victim.uid,
+                    line_addr=line_addr,
+                    line_index=self.amap.line_index(line_addr),
+                    ctype=classify_type(True, rst.read_mask, rst.write_mask),
+                    is_false=is_false,
+                    requester_is_write=True,
+                    requester_mask=mask,
+                    victim_read_mask=rst.read_mask,
+                    victim_write_mask=rst.write_mask,
+                    forced_waw=check.forced_waw,
+                    at_commit=True,
+                )
+                self.sink.on_conflict(rec)
+                cause = (
+                    AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
+                )
+                self._abort(r, time, cause)
 
     # ------------------------------------------------------------------ access
 
@@ -203,6 +326,11 @@ class HtmMachine:
         abort stops the remainder).
         """
         txn = self.active[core]
+        if self._stall_res and self._stalled[core]:
+            # The stall delay elapsed; the core leaves the queue and
+            # re-executes the access (it may stall again immediately).
+            self._stalled[core] = False
+            self._stall_count -= 1
         total = AccessOutcome(latency=0, hit_l1=True)
         for chunk in self.amap.split(addr, size):
             out = self._access_line(
@@ -214,6 +342,9 @@ class HtmMachine:
             total.dirty_reprobe = total.dirty_reprobe or out.dirty_reprobe
             if out.self_abort is not None:
                 total.self_abort = out.self_abort
+                break
+            if out.stall_cycles:
+                total.stall_cycles = out.stall_cycles
                 break
         return total
 
@@ -333,6 +464,9 @@ class HtmMachine:
                     out.conflicts.extend(aborted.records)
                     out.self_abort = aborted.cause
                     return out
+                except _RequesterStalled as stalled:
+                    out.stall_cycles = stalled.cycles
+                    return out
                 if valid and not stale:
                     # Ownership upgrade -> M with a probe; data already
                     # local and clean (no Dirty sub-blocks — checked
@@ -366,6 +500,9 @@ class HtmMachine:
                     out.conflicts.extend(aborted.records)
                     out.self_abort = aborted.cause
                     return out
+                except _RequesterStalled as stalled:
+                    out.stall_cycles = stalled.cycles
+                    return out
                 data, fill_lat, piggy = self._fetch_line(core, line_addr)
                 self._demote_remotes(core, line_addr)
                 had_sharers = self.mem.holders_mask(line_addr, core) != 0
@@ -379,12 +516,13 @@ class HtmMachine:
         if line is None or not line.valid:  # pragma: no cover - fill guarantees
             raise ProtocolError(f"line {line_addr:#x} not resident after access")
 
-        if probed:
+        if probed and not self._lazy_cd:
             # Snapshot which sub-blocks other running transactions still
             # hold speculative state on (survivors of the probe: retained
             # readers after a false-WAR invalidation, non-overlapping
             # writers under the perfect scheme).  A later silent store
             # into one of them must re-probe — see SpecLineState.rr_bits.
+            # (Moot under lazy detection: probes never check conflicts.)
             remote_spec = self._remote_spec_bits(core, line_addr)
             if remote_spec or (st is not None and st.rr_bits):
                 self._spec_state(core, line_addr).rr_bits = remote_spec
@@ -480,9 +618,33 @@ class HtmMachine:
                 victim_write_mask=rst.write_mask,
                 forced_waw=check.forced_waw,
             )
+            cause = AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
+            if self._stall_res and txn is not None:
+                # Stall/backoff resolution: nobody aborts if the requester
+                # can park.  The decision is made at the first conflicting
+                # victim, before any abort, so a stalled access is
+                # side-effect-free and replayable.
+                if (
+                    self._stall_budget[core] > 0
+                    and self._stall_count < self.policy.stall_queue_depth
+                ):
+                    self._stall_budget[core] -= 1
+                    # Deterministic delay, scaled by queue occupancy so
+                    # symmetric waiters separate without RNG draws.
+                    delay = self.policy.stall_cycles * (1 + self._stall_count)
+                    self._stalled[core] = True
+                    self._stall_count += 1
+                    self.sink.on_stall(core, time, delay, False)
+                    raise _RequesterStalled(delay)
+                # Deadlock avoidance: budget or queue exhausted — the
+                # requester aborts itself instead of waiting forever.
+                records.append(rec)
+                self.sink.on_conflict(rec)
+                self.sink.on_stall(core, time, 0, True)
+                self._abort(core, time, cause)
+                raise _RequesterAborted(cause, records)
             records.append(rec)
             self.sink.on_conflict(rec)
-            cause = AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
             if (
                 self.config.htm.resolution is ConflictResolution.OLDER_WINS
                 and txn is not None
@@ -505,6 +667,12 @@ class HtmMachine:
         if self.use_sharer_index:
             return self._iter_mask(self.spec_holders.get(line_addr, 0), core)
         return [r for r in range(self.config.n_cores) if r != core]
+
+    def _commit_invalidate(self, core: int, txn: Transaction) -> None:
+        """Invalidate remote copies of a lazy-detection committer's write
+        set (deterministic line order; kernels override the walk)."""
+        for line_addr in sorted(txn.write_lines):
+            self._invalidate_remotes(core, line_addr)
 
     def _invalidate_remotes(self, core: int, line_addr: int) -> None:
         for r in self._holder_targets(core, line_addr):
@@ -565,7 +733,7 @@ class HtmMachine:
                 line = self.mem.l1s[owner].lookup(line_addr, touch=False)
                 if line is not None and line.valid and supplies_data(line.state):
                     rst = self.spec_tables[owner].get(line_addr)
-                    if rst is None or not rst.any_dirty:
+                    if rst is None or not self.detector.abstains_from_supply(rst):
                         supplier = owner
         else:
             for r in self.bus.snoop_order(core):
@@ -573,7 +741,7 @@ class HtmMachine:
                 if line is None or not line.valid or not supplies_data(line.state):
                     continue
                 rst = self.spec_tables[r].get(line_addr)
-                if rst is not None and rst.any_dirty:
+                if rst is not None and self.detector.abstains_from_supply(rst):
                     continue  # stale words present; let memory respond
                 supplier = r
                 break
@@ -680,6 +848,16 @@ class HtmMachine:
             if txn is not None:
                 token = self.tokens.allocate(txn.uid, word_addr)
                 txn.record_store(word_addr, token)
+                if self._eager_vm:
+                    # Eager versioning: publish in place now, remember the
+                    # overwritten value for the abort rollback.  First
+                    # touch only — the undo log keeps the pre-transaction
+                    # value, not intermediate ones.
+                    memory = self.mem.memory
+                    undo = txn.undo
+                    if word_addr not in undo:
+                        undo[word_addr] = memory.get(word_addr, 0)
+                    memory[word_addr] = token
             else:
                 # Non-transactional store: immediately visible.  Each one
                 # gets its own (instantly committed) writer id so the
@@ -717,6 +895,12 @@ class HtmMachine:
     def _abort(self, core: int, time: int, cause: AbortCause) -> Transaction:
         txn = self._require_txn(core)
         self.versions.on_abort(txn.uid)
+        if self._eager_vm and txn.undo:
+            restore_undo(self.mem.memory, txn.undo)
+        if self._stall_res and self._stalled[core]:
+            # A stalled core can die remotely; free its queue slot.
+            self._stalled[core] = False
+            self._stall_count -= 1
         l1 = self.mem.l1s[core]
         table = self.spec_tables[core]
         # Walk write lines then read-only lines instead of allocating the

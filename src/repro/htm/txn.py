@@ -61,6 +61,10 @@ class Transaction:
     # Lazy-versioning redo log: word_addr -> token written (last wins).
     redo: dict[int, int] = field(default_factory=dict)
 
+    # Eager-versioning undo log: word_addr -> pre-transaction token
+    # (first touch only); empty under lazy version management.
+    undo: dict[int, int] = field(default_factory=dict)
+
     # First-read observations for the serializability checker:
     # word_addr -> token observed (only the first read of each word, and
     # only when the word was not already in the redo log).
@@ -127,6 +131,7 @@ class Transaction:
         self.read_lines.clear()
         self.write_lines.clear()
         self.redo.clear()
+        self.undo.clear()
         self.observed.clear()
 
     def mark_committed(self, time: int) -> None:

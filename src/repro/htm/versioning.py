@@ -19,7 +19,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TokenAllocator", "TokenInfo", "VersionTracker"]
+__all__ = ["TokenAllocator", "TokenInfo", "VersionTracker", "restore_undo"]
+
+
+def restore_undo(memory: dict[int, int], undo: dict[int, int]) -> None:
+    """Roll an eager-versioning undo log back into backing memory.
+
+    Writes every pre-transaction token back and clears the log.  Shared
+    by all three kernels' abort paths so rollback is bit-identical.
+    Restoring an explicit 0 (word was untouched before the transaction)
+    is equivalent to absence: token 0 is the initial value of all memory
+    and every reader uses ``memory.get(word, 0)``.
+    """
+    for word_addr, token in undo.items():
+        memory[word_addr] = token
+    undo.clear()
 
 
 @dataclass(frozen=True, slots=True)

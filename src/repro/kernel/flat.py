@@ -49,9 +49,11 @@ from repro.htm.machine import (
     SPEC_OVERFLOW_WAYS,
     AccessOutcome,
     _RequesterAborted,
+    _RequesterStalled,
 )
 from repro.htm.ops import TxnOp
 from repro.htm.txn import AbortCause, Transaction, TxnStatus
+from repro.htm.versioning import restore_undo
 from repro.kernel.machine import _WSHIFT, ArrayKernelMachine
 from repro.kernel.state import (
     MOESI_E,
@@ -114,6 +116,7 @@ class FlatTxnMachine(ArrayKernelMachine):
         out.conflicts = []
         out.self_abort = None
         out.dirty_reprobe = False
+        out.stall_cycles = 0
         self._fast_out = out
         # Reusable slow-path outcome: every field is rewritten per call,
         # and `conflicts` starts as a shared never-mutated empty list —
@@ -143,12 +146,22 @@ class FlatTxnMachine(ArrayKernelMachine):
             return self._abort(core, time, AbortCause.VALIDATION)
         if self.checker is not None:
             self.checker.validate_commit(txn, self._memory)
-        redo = txn.redo
-        if redo:
-            # Direct publish: redo keys are word-aligned by construction.
-            memory = self._memory
-            for word_addr, token in redo.items():
-                memory[word_addr] = token
+        if self._lazy_cd and self._committer_wins:
+            self._commit_arbitrate(core, txn, time)
+        if self._eager_vm:
+            # In-place stores already published; the undo log just dies.
+            txn.undo.clear()
+        else:
+            redo = txn.redo
+            if redo:
+                # Direct publish: redo keys are word-aligned by construction.
+                memory = self._memory
+                for word_addr, token in redo.items():
+                    memory[word_addr] = token
+        if self._lazy_cd:
+            # Commit broadcast: see HtmMachine.commit — stale remote
+            # copies of the write set must not survive the publish.
+            self._commit_invalidate(core, txn)
         self.versions.on_commit(txn.uid)
         self._release_spec_lines(core, txn)
         # mark_committed inlined; _require_txn already proved RUNNING.
@@ -171,9 +184,15 @@ class FlatTxnMachine(ArrayKernelMachine):
         machine's preallocated outcome.  Misses (and the rare multi-line
         access) fall through to :meth:`_access_line` / the array splitter.
         """
+        if self._stall_res and self._stalled[core]:
+            # The stall delay elapsed; the core leaves the queue and
+            # re-executes the access (it may stall again immediately).
+            self._stalled[core] = False
+            self._stall_count -= 1
         offset = addr & self._offset_mask
         if offset + size > self._line_size or size <= 0:
-            # Multi-line or degenerate access: array splitter handles it.
+            # Multi-line or degenerate access: array splitter handles it
+            # (its own stall-queue re-entry check is a no-op by now).
             return ArrayKernelMachine.access(self, core, addr, size, is_write, time)
         s = self.state
         line_addr = addr - offset
@@ -276,11 +295,23 @@ class FlatTxnMachine(ArrayKernelMachine):
             if txn is not None:
                 t_uid = txn.uid
                 redo = txn.redo
-                for wi in range(w0, w1 + 1):
-                    word_addr = line_addr + wi * WORD_SIZE
-                    token = tokens.allocate(t_uid, word_addr)
-                    redo[word_addr] = token
-                    data_line[wi] = token
+                if self._eager_vm:
+                    memory = self._memory
+                    undo = txn.undo
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        if word_addr not in undo:
+                            undo[word_addr] = memory.get(word_addr, 0)
+                        memory[word_addr] = token
+                        data_line[wi] = token
+                else:
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        data_line[wi] = token
             else:
                 memory = self._memory
                 versions = self.versions
@@ -333,7 +364,11 @@ class FlatTxnMachine(ArrayKernelMachine):
                 continue
             member = (s.spec_mask[li] >> r) & 1
             if member:
-                if self._sub:
+                if self._lazy_cd:
+                    # Lazy detection keeps all speculative state so the
+                    # invalidated victim still validates and arbitrates.
+                    retain = self._any_spec(r, li)
+                elif self._sub:
                     retain = s.spec[r][li] != 0
                 elif self._decoupled:
                     retain = s.rmask[r][li] != 0
@@ -378,6 +413,12 @@ class FlatTxnMachine(ArrayKernelMachine):
         """
         txn = self._require_txn(core)
         self.versions.on_abort(txn.uid)
+        if self._eager_vm and txn.undo:
+            restore_undo(self._memory, txn.undo)
+        if self._stall_res and self._stalled[core]:
+            # A stalled core can die remotely; free its queue slot.
+            self._stalled[core] = False
+            self._stall_count -= 1
         s = self.state
         imap = s.intern_map
         moesi_c = s.moesi[core]
@@ -489,7 +530,9 @@ class FlatTxnMachine(ArrayKernelMachine):
         state (nothing between them mutates ``spec``/``wr``/``active`` for
         this line), so one pass yields both values.
         """
-        if not self._sub:
+        if not self._sub or self._lazy_cd:
+            # Lazy detection: no rr snapshot (probes never check
+            # conflicts) and no piggy-back (dirty machinery is off).
             return 0, 0
         s = self.state
         active = self.active
@@ -522,20 +565,27 @@ class FlatTxnMachine(ArrayKernelMachine):
         out (the fused :meth:`_post_probe_walk` already produced it)."""
         s = self.state
         supplier = -1
+        lazy_cd = self._lazy_cd
         if self.use_sharer_index:
             ow = s.owner[li]
             if ow >= 0 and ow != core and s.moesi[ow][li] >= MOESI_O:
                 if not (
                     (s.spec_mask[li] >> ow) & 1
-                    and s.wr[ow][li] & ~s.spec[ow][li]
+                    and (
+                        s.wr[ow][li] & ~s.spec[ow][li]
+                        or (lazy_cd and self._spec_written(ow, li))
+                    )
                 ):
                     supplier = ow
         else:
             for r in self.bus.snoop_order(core):
                 if s.moesi[r][li] < MOESI_O:
                     continue
-                if (s.spec_mask[li] >> r) & 1 and s.wr[r][li] & ~s.spec[r][li]:
-                    continue  # stale words present; let memory respond
+                if (s.spec_mask[li] >> r) & 1 and (
+                    s.wr[r][li] & ~s.spec[r][li]
+                    or (lazy_cd and self._spec_written(r, li))
+                ):
+                    continue  # stale/uncommitted words; let memory respond
                 supplier = r
                 break
         on_fill = self._on_fill
@@ -634,6 +684,7 @@ class FlatTxnMachine(ArrayKernelMachine):
         out.conflicts = self._no_conflicts
         out.self_abort = None
         out.dirty_reprobe = force_probe
+        out.stall_cycles = 0
         filled = False
         probed = False
         piggy = 0
@@ -656,6 +707,9 @@ class FlatTxnMachine(ArrayKernelMachine):
                         # the outcome can own it outright.
                         out.conflicts = aborted.records
                         out.self_abort = aborted.cause
+                        return out
+                    except _RequesterStalled as stalled:
+                        out.stall_cycles = stalled.cycles
                         return out
                     if recs:
                         out.conflicts = recs
@@ -692,6 +746,9 @@ class FlatTxnMachine(ArrayKernelMachine):
                     except _RequesterAborted as aborted:
                         out.conflicts = aborted.records
                         out.self_abort = aborted.cause
+                        return out
+                    except _RequesterStalled as stalled:
+                        out.stall_cycles = stalled.cycles
                         return out
                     if recs:
                         out.conflicts = recs
@@ -788,7 +845,7 @@ class FlatTxnMachine(ArrayKernelMachine):
         if moesi_c[li] == MOESI_I:  # pragma: no cover - fill guarantees
             raise ProtocolError(f"line {line_addr:#x} not resident after access")
 
-        if probed and self._sub:
+        if probed and self._sub and not self._lazy_cd:
             # Probe-survivor snapshot (computed by the fused walk above;
             # see ArrayKernelMachine._access_line).
             if remote_spec or (member and s.rr[core][li]):
@@ -864,11 +921,23 @@ class FlatTxnMachine(ArrayKernelMachine):
             if txn is not None:
                 t_uid = txn.uid
                 redo = txn.redo
-                for wi in range(w0, w1 + 1):
-                    word_addr = line_addr + wi * WORD_SIZE
-                    token = tokens.allocate(t_uid, word_addr)
-                    redo[word_addr] = token
-                    data_line[wi] = token
+                if self._eager_vm:
+                    memory = self._memory
+                    undo = txn.undo
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        if word_addr not in undo:
+                            undo[word_addr] = memory.get(word_addr, 0)
+                        memory[word_addr] = token
+                        data_line[wi] = token
+                else:
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        data_line[wi] = token
             else:
                 memory = self._memory
                 versions = self.versions

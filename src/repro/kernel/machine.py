@@ -42,8 +42,10 @@ from repro.htm.machine import (
     AccessOutcome,
     HtmMachine,
     _RequesterAborted,
+    _RequesterStalled,
 )
 from repro.htm.txn import AbortCause, Transaction
+from repro.htm.versioning import restore_undo
 from repro.kernel.state import (
     MOESI_E,
     MOESI_I,
@@ -99,6 +101,12 @@ class ArrayKernelMachine(HtmMachine):
             self._n_sub = 1
             self._dirty_en = False
             self._forced_waw = False
+        if self._lazy_cd:
+            # Lazy detection neutralises the dirty/piggy-back machinery
+            # (it exists to make *eager* probe detection sound); the
+            # object model gets the same effect from LazyPolicyDetector
+            # inheriting the base no-op hooks.
+            self._dirty_en = False
         self._sub_memo: dict[int, int] = {}
         self._older_wins = config.htm.resolution is ConflictResolution.OLDER_WINS
         lat = config.latency
@@ -164,6 +172,11 @@ class ArrayKernelMachine(HtmMachine):
     def access(
         self, core: int, addr: int, size: int, is_write: bool, time: int
     ) -> AccessOutcome:
+        if self._stall_res and self._stalled[core]:
+            # The stall delay elapsed; the core leaves the queue and
+            # re-executes the access (it may stall again immediately).
+            self._stalled[core] = False
+            self._stall_count -= 1
         offset = addr & self._offset_mask
         if offset + size <= self._line_size and size > 0:
             # Single-line access (every workload access in practice).
@@ -210,6 +223,7 @@ class ArrayKernelMachine(HtmMachine):
                             out.conflicts = []
                             out.self_abort = None
                             out.dirty_reprobe = False
+                            out.stall_cycles = 0
                             return out
                         return self._hit_fast(
                             core, li, line_addr, offset, size, mask, sub,
@@ -230,6 +244,9 @@ class ArrayKernelMachine(HtmMachine):
             total.dirty_reprobe = total.dirty_reprobe or out.dirty_reprobe
             if out.self_abort is not None:
                 total.self_abort = out.self_abort
+                break
+            if out.stall_cycles:
+                total.stall_cycles = out.stall_cycles
                 break
         return total
 
@@ -302,11 +319,23 @@ class ArrayKernelMachine(HtmMachine):
             if txn is not None:
                 t_uid = txn.uid
                 redo = txn.redo
-                for wi in range(w0, w1 + 1):
-                    word_addr = line_addr + wi * WORD_SIZE
-                    token = tokens.allocate(t_uid, word_addr)
-                    redo[word_addr] = token
-                    data_line[wi] = token
+                if self._eager_vm:
+                    memory = self.mem.memory
+                    undo = txn.undo
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        if word_addr not in undo:
+                            undo[word_addr] = memory.get(word_addr, 0)
+                        memory[word_addr] = token
+                        data_line[wi] = token
+                else:
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        data_line[wi] = token
             else:
                 memory = self.mem.memory
                 versions = self.versions
@@ -344,6 +373,7 @@ class ArrayKernelMachine(HtmMachine):
         out.conflicts = []
         out.self_abort = None
         out.dirty_reprobe = False
+        out.stall_cycles = 0
         return out
 
     def _access_line(
@@ -399,6 +429,7 @@ class ArrayKernelMachine(HtmMachine):
         out.conflicts = []
         out.self_abort = None
         out.dirty_reprobe = force_probe
+        out.stall_cycles = 0
         filled = False
         probed = False
         piggy = 0
@@ -416,6 +447,9 @@ class ArrayKernelMachine(HtmMachine):
                 except _RequesterAborted as aborted:
                     out.conflicts.extend(aborted.records)
                     out.self_abort = aborted.cause
+                    return out
+                except _RequesterStalled as stalled:
+                    out.stall_cycles = stalled.cycles
                     return out
                 if recs:
                     out.conflicts.extend(recs)
@@ -446,6 +480,9 @@ class ArrayKernelMachine(HtmMachine):
                     out.conflicts.extend(aborted.records)
                     out.self_abort = aborted.cause
                     return out
+                except _RequesterStalled as stalled:
+                    out.stall_cycles = stalled.cycles
+                    return out
                 if recs:
                     out.conflicts.extend(recs)
                 data, fill_lat, piggy = self._fetch(core, li, line_addr)
@@ -460,11 +497,12 @@ class ArrayKernelMachine(HtmMachine):
         if moesi_c[li] == MOESI_I:  # pragma: no cover - fill guarantees
             raise ProtocolError(f"line {line_addr:#x} not resident after access")
 
-        if probed and self._sub:
+        if probed and self._sub and not self._lazy_cd:
             # Snapshot which sub-blocks other running transactions still
             # hold speculative state on (probe survivors); see
             # SpecLineState.rr_bits.  Union is zero outside the sub-block
-            # family, where the object path's walk is a no-op.
+            # family, where the object path's walk is a no-op.  (Moot
+            # under lazy detection: probes never check conflicts.)
             remote_spec = 0
             spec_mask_li = s.spec_mask[li]
             if self.use_sharer_index:
@@ -543,11 +581,23 @@ class ArrayKernelMachine(HtmMachine):
             if txn is not None:
                 t_uid = txn.uid
                 redo = txn.redo
-                for wi in range(w0, w1 + 1):
-                    word_addr = line_addr + wi * WORD_SIZE
-                    token = tokens.allocate(t_uid, word_addr)
-                    redo[word_addr] = token
-                    data_line[wi] = token
+                if self._eager_vm:
+                    memory = self.mem.memory
+                    undo = txn.undo
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        if word_addr not in undo:
+                            undo[word_addr] = memory.get(word_addr, 0)
+                        memory[word_addr] = token
+                        data_line[wi] = token
+                else:
+                    for wi in range(w0, w1 + 1):
+                        word_addr = line_addr + wi * WORD_SIZE
+                        token = tokens.allocate(t_uid, word_addr)
+                        redo[word_addr] = token
+                        data_line[wi] = token
             else:
                 memory = self.mem.memory
                 versions = self.versions
@@ -599,6 +649,10 @@ class ArrayKernelMachine(HtmMachine):
         else:
             bstats.probes_non_invalidating += 1
         records: list[ConflictRecord] = []
+        if self._lazy_cd:
+            # Lazy detection: the probe goes out (bus counted above) but
+            # never checks conflicts — resolution waits for commit.
+            return records
         spec_mask_li = s.spec_mask[li]
         if self.use_sharer_index:
             if not spec_mask_li:
@@ -657,9 +711,31 @@ class ArrayKernelMachine(HtmMachine):
                 victim_write_mask=wmask_r,
                 forced_waw=forced_waw,
             )
+            cause = AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
+            if self._stall_res and txn is not None:
+                # Stall/backoff resolution: nobody aborts if the requester
+                # can park.  The decision is made at the first conflicting
+                # victim, before any abort, so a stalled access is
+                # side-effect-free and replayable.
+                if (
+                    self._stall_budget[core] > 0
+                    and self._stall_count < self.policy.stall_queue_depth
+                ):
+                    self._stall_budget[core] -= 1
+                    delay = self.policy.stall_cycles * (1 + self._stall_count)
+                    self._stalled[core] = True
+                    self._stall_count += 1
+                    self.sink.on_stall(core, time, delay, False)
+                    raise _RequesterStalled(delay)
+                # Deadlock avoidance: budget or queue exhausted — the
+                # requester aborts itself instead of waiting forever.
+                records.append(rec)
+                self.sink.on_conflict(rec)
+                self.sink.on_stall(core, time, 0, True)
+                self._abort(core, time, cause)
+                raise _RequesterAborted(cause, records)
             records.append(rec)
             self.sink.on_conflict(rec)
-            cause = AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
             if (
                 self._older_wins
                 and txn is not None
@@ -678,6 +754,13 @@ class ArrayKernelMachine(HtmMachine):
             return self._iter_mask(self.state.holders[li], core)
         return [r for r in range(self.state.n_cores) if r != core]
 
+    def _commit_invalidate(self, core: int, txn) -> None:
+        intern = self.state.intern_map
+        for line_addr in sorted(txn.write_lines):
+            li = intern.get(line_addr)
+            if li is not None:
+                self._invalidate_remote_copies(core, li)
+
     def _invalidate_remote_copies(self, core: int, li: int) -> None:
         s = self.state
         for r in self._holder_targets_a(core, li):
@@ -685,7 +768,11 @@ class ArrayKernelMachine(HtmMachine):
                 continue
             member = (s.spec_mask[li] >> r) & 1
             if member:
-                if self._sub:
+                if self._lazy_cd:
+                    # Lazy detection keeps all speculative state so the
+                    # invalidated victim still validates and arbitrates.
+                    retain = self._any_spec(r, li)
+                elif self._sub:
                     retain = s.spec[r][li] != 0
                 elif self._decoupled:
                     retain = s.rmask[r][li] != 0
@@ -714,26 +801,42 @@ class ArrayKernelMachine(HtmMachine):
                 s.owner[li] = -1
             s.moesi[r][li] = NON_INVALIDATING_NEXT[code]
 
+    def _spec_written(self, r: int, li: int) -> bool:
+        """has_spec_write on planes: does ``r`` hold speculatively written
+        (uncommitted) words of the line?  Used by the lazy-detection
+        supplier abstention — such data must never be forwarded."""
+        s = self.state
+        if self._sub:
+            return (s.spec[r][li] & s.wr[r][li]) != 0
+        return s.wmask[r][li] != 0
+
     # -------------------------------------------------------------- fetch/fill
 
     def _fetch(self, core: int, li: int, line_addr: int) -> tuple[list[int], int, int]:
         """Fetch line data: remote owner cache, local L2/L3, or memory."""
         s = self.state
         supplier = -1
+        lazy_cd = self._lazy_cd
         if self.use_sharer_index:
             ow = s.owner[li]
             if ow >= 0 and ow != core and s.moesi[ow][li] >= MOESI_O:
                 if not (
                     (s.spec_mask[li] >> ow) & 1
-                    and s.wr[ow][li] & ~s.spec[ow][li]
+                    and (
+                        s.wr[ow][li] & ~s.spec[ow][li]
+                        or (lazy_cd and self._spec_written(ow, li))
+                    )
                 ):
                     supplier = ow
         else:
             for r in self.bus.snoop_order(core):
                 if s.moesi[r][li] < MOESI_O:
                     continue
-                if (s.spec_mask[li] >> r) & 1 and s.wr[r][li] & ~s.spec[r][li]:
-                    continue  # stale words present; let memory respond
+                if (s.spec_mask[li] >> r) & 1 and (
+                    s.wr[r][li] & ~s.spec[r][li]
+                    or (lazy_cd and self._spec_written(r, li))
+                ):
+                    continue  # stale/uncommitted words; let memory respond
                 supplier = r
                 break
         piggy = 0
@@ -859,6 +962,77 @@ class ArrayKernelMachine(HtmMachine):
         out.self_abort = AbortCause.CAPACITY
         return out
 
+    # ------------------------------------------------------------ arbitration
+
+    def _commit_arbitrate(self, core: int, txn: Transaction, time: int) -> None:
+        """Plane-based mirror of ``HtmMachine._commit_arbitrate``.
+
+        Same sorted-line walk and snoop-ordered victim visits; the scheme's
+        invalidating-probe rule is inlined exactly as in :meth:`_probe`.
+        """
+        s = self.state
+        imap = s.intern_map
+        active = self.active
+        sub_family = self._sub
+        for line_addr in sorted(txn.write_lines):
+            li = imap[line_addr]
+            if not (s.spec_mask[li] >> core) & 1:
+                continue
+            mask = s.wmask[core][li]
+            if not mask:
+                continue
+            spec_mask_li = s.spec_mask[li]
+            if self.use_sharer_index:
+                targets = self._rr_order(core, spec_mask_li)
+            else:
+                targets = self.bus.snoop_order(core)
+            sub = self._subblocks(mask) if sub_family else 0
+            for r in targets:
+                if not (spec_mask_li >> r) & 1:
+                    continue
+                victim = active[r]
+                if victim is None or s.sowner[r][li] != victim.uid:
+                    continue
+                forced_waw = False
+                rmask_r = s.rmask[r][li]
+                wmask_r = s.wmask[r][li]
+                if sub_family:
+                    spec_r = s.spec[r][li]
+                    if sub & spec_r:
+                        pass
+                    elif self._forced_waw and spec_r & s.wr[r][li]:
+                        forced_waw = True
+                    else:
+                        continue
+                elif self._decoupled:
+                    if not wmask_r:
+                        continue
+                elif not (wmask_r or rmask_r):
+                    continue
+                is_false = (mask & (wmask_r | rmask_r)) == 0
+                rec = ConflictRecord(
+                    time=time,
+                    requester_core=core,
+                    victim_core=r,
+                    requester_txn=txn.uid,
+                    victim_txn=victim.uid,
+                    line_addr=line_addr,
+                    line_index=self.amap.line_index(line_addr),
+                    ctype=classify_type(True, rmask_r, wmask_r),
+                    is_false=is_false,
+                    requester_is_write=True,
+                    requester_mask=mask,
+                    victim_read_mask=rmask_r,
+                    victim_write_mask=wmask_r,
+                    forced_waw=forced_waw,
+                    at_commit=True,
+                )
+                self.sink.on_conflict(rec)
+                cause = (
+                    AbortCause.CONFLICT_FALSE if is_false else AbortCause.CONFLICT_TRUE
+                )
+                self._abort(r, time, cause)
+
     # ------------------------------------------------------------------- abort
 
     def _clear_spec_entry(self, core: int, li: int) -> bool:
@@ -875,6 +1049,12 @@ class ArrayKernelMachine(HtmMachine):
     def _abort(self, core: int, time: int, cause: AbortCause) -> Transaction:
         txn = self._require_txn(core)
         self.versions.on_abort(txn.uid)
+        if self._eager_vm and txn.undo:
+            restore_undo(self.mem.memory, txn.undo)
+        if self._stall_res and self._stalled[core]:
+            # A stalled core can die remotely; free its queue slot.
+            self._stalled[core] = False
+            self._stall_count -= 1
         s = self.state
         imap = s.intern_map
         moesi_c = s.moesi[core]

@@ -257,6 +257,13 @@ class SimulationEngine:
                                             outcome.self_abort,
                                         )
                                         break
+                                    if outcome.stall_cycles:
+                                        # Stall/backoff resolution: the op
+                                        # did not retire — replay it after
+                                        # the stall delay, pc unchanged.
+                                        txn.pc = pc
+                                        nxt = time + outcome.stall_cycles
+                                        break
                                     pc += 1
                                     d = outcome.latency
                                     if d < 1:
@@ -405,6 +412,11 @@ class SimulationEngine:
             )
             if outcome.self_abort is not None:
                 self._after_abort(cs, now + outcome.latency, outcome.self_abort)
+                return
+            if outcome.stall_cycles:
+                # Stall/backoff resolution: replay the same op after the
+                # stall delay without advancing the program counter.
+                self._schedule(now + outcome.stall_cycles, cs.core)
                 return
             txn.pc += 1
             self._schedule(now + max(outcome.latency, 1), cs.core)

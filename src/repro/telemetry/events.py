@@ -32,6 +32,7 @@ __all__ = [
     "FillEvent",
     "NullSink",
     "RunCompleteEvent",
+    "StallEvent",
     "TxnAbortEvent",
     "TxnCommitEvent",
     "TxnStartEvent",
@@ -88,6 +89,23 @@ class ConflictEvent:
     victim_read_mask: int
     victim_write_mask: int
     forced_waw: bool
+    at_commit: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class StallEvent:
+    """A stall/backoff-policy requester parked (or fell back to abort).
+
+    ``cycles`` is the deterministic stall delay (0 when ``aborted``);
+    ``aborted`` marks the deadlock-avoidance fallback — the requester
+    exhausted its stall budget or the stall queue was full and aborted
+    itself instead of waiting.
+    """
+
+    core: int
+    time: int
+    cycles: int
+    aborted: bool
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,6 +182,9 @@ class EventSink(Protocol):
     def on_backoff(self, core: int, cycles: int) -> None:
         ...
 
+    def on_stall(self, core: int, time: int, cycles: int, aborted: bool) -> None:
+        ...
+
     def on_dirty_reprobe(self, core: int, line_addr: int, time: int) -> None:
         ...
 
@@ -197,6 +218,9 @@ class NullSink:
         pass
 
     def on_backoff(self, core: int, cycles: int) -> None:
+        pass
+
+    def on_stall(self, core: int, time: int, cycles: int, aborted: bool) -> None:
         pass
 
     def on_dirty_reprobe(self, core: int, line_addr: int, time: int) -> None:

@@ -48,7 +48,9 @@ __all__ = [
 #: the minor for additive changes (new event kinds, new optional fields).
 TRACE_SCHEMA = "repro-asf-trace"
 TRACE_SCHEMA_MAJOR = 1
-TRACE_SCHEMA_MINOR = 0
+# Minor 1: added the "stall" event kind and the optional "at_commit"
+# conflict field (policy-matrix stall/backoff + lazy-commit arbitration).
+TRACE_SCHEMA_MINOR = 1
 
 
 @dataclass(slots=True)
@@ -142,6 +144,10 @@ COUNTER_FIELDS = (
     "fills_l3",
     "fills_memory",
     "fills_remote",
+    "stalls",
+    "stall_cycles",
+    "stall_aborts",
+    "arbitration_aborts",
 )
 
 
@@ -176,6 +182,10 @@ def summary_dict(s) -> dict[str, object]:
         "fills_l3": s.fills_l3,
         "fills_memory": s.fills_memory,
         "fills_remote": s.fills_remote,
+        "stalls": s.stalls,
+        "stall_cycles": s.stall_cycles,
+        "stall_aborts": s.stall_aborts,
+        "arbitration_aborts": s.arbitration_aborts,
     }
 
 
@@ -205,6 +215,12 @@ class CounterSink:
         self.fills_l3: int = 0
         self.fills_memory: int = 0
         self.fills_remote: int = 0
+        # Policy-matrix counters: stall/backoff resolution and
+        # lazy-detection commit arbitration (zero under plain ASF).
+        self.stalls: int = 0
+        self.stall_cycles: int = 0
+        self.stall_aborts: int = 0
+        self.arbitration_aborts: int = 0
         # Filled in by on_run_complete.
         self.execution_cycles: int = 0
         self.per_core_cycles: list[int] = []
@@ -228,6 +244,8 @@ class CounterSink:
         self.conflicts.add(rec.ctype, rec.is_false)
         if rec.forced_waw:
             self.forced_waw_aborts += 1
+        if getattr(rec, "at_commit", False):
+            self.arbitration_aborts += 1
 
     def on_access(
         self, core: int, line_addr: int, offset: int, is_write: bool, hit_l1: bool
@@ -239,6 +257,13 @@ class CounterSink:
 
     def on_backoff(self, core: int, cycles: int) -> None:
         self.backoff_cycles += cycles
+
+    def on_stall(self, core: int, time: int, cycles: int, aborted: bool) -> None:
+        if aborted:
+            self.stall_aborts += 1
+        else:
+            self.stalls += 1
+            self.stall_cycles += cycles
 
     def on_dirty_reprobe(self, core: int, line_addr: int, time: int) -> None:
         self.dirty_reprobes += 1
@@ -331,6 +356,8 @@ class DetailSink(CounterSink):
             self.false_by_line[rec.line_index] += 1
         if rec.forced_waw:
             self.forced_waw_aborts += 1
+        if getattr(rec, "at_commit", False):
+            self.arbitration_aborts += 1
         if self.record_events:
             self.conflict_events.append(rec)
 
@@ -489,6 +516,7 @@ class JsonlTraceSink:
                 "victim_read_mask": rec.victim_read_mask,
                 "victim_write_mask": rec.victim_write_mask,
                 "forced_waw": rec.forced_waw,
+                "at_commit": getattr(rec, "at_commit", False),
             }
         )
         self.inner.on_conflict(rec)
@@ -512,6 +540,18 @@ class JsonlTraceSink:
     def on_backoff(self, core: int, cycles: int) -> None:
         self._emit({"event": "backoff", "core": core, "cycles": cycles})
         self.inner.on_backoff(core, cycles)
+
+    def on_stall(self, core: int, time: int, cycles: int, aborted: bool) -> None:
+        self._emit(
+            {
+                "event": "stall",
+                "core": core,
+                "time": time,
+                "cycles": cycles,
+                "aborted": aborted,
+            }
+        )
+        self.inner.on_stall(core, time, cycles, aborted)
 
     def on_dirty_reprobe(self, core: int, line_addr: int, time: int) -> None:
         self._emit(
@@ -594,5 +634,9 @@ SUMMARY_KEYS = (
     "fills_l3",
     "fills_memory",
     "fills_remote",
+    "stalls",
+    "stall_cycles",
+    "stall_aborts",
+    "arbitration_aborts",
 )
 """Keys of :func:`summary_dict`, in emission order."""

@@ -74,6 +74,10 @@ class RunSummary:
     fills_l3: int = 0
     fills_memory: int = 0
     fills_remote: int = 0
+    stalls: int = 0
+    stall_cycles: int = 0
+    stall_aborts: int = 0
+    arbitration_aborts: int = 0
     execution_cycles: int = 0
     per_core_cycles: list[int] = field(default_factory=list)
     retries_by_static: dict[int, int] = field(default_factory=dict)
@@ -203,7 +207,8 @@ class RunSummary:
             serial_fallback=data.get("serial_fallback", False),
         )
         for name in COUNTER_FIELDS:
-            setattr(out, name, data[name])
+            # Stored snapshots predating a counter read back as zero.
+            setattr(out, name, data.get(name, 0))
         return out
 
 

@@ -82,12 +82,13 @@ class TestResolutionSweep:
 
         points = sweep_resolution(workload, seed=2)
         labels = {p.label for p in points}
-        assert labels == {"requester_wins", "older_wins"}
+        assert labels == {"requester_wins", "older_wins", "stall_backoff"}
         for p in points:
             assert p.stats.txn_commits == 8 * 25
 
     def test_policies_actually_differ(self, workload):
         from repro.analysis.sweeps import sweep_resolution
 
-        req, old = sweep_resolution(workload, seed=2)
+        req, old, stall = sweep_resolution(workload, seed=2)
         assert req.stats.summary() != old.stats.summary()
+        assert stall.stats.summary() != req.stats.summary()

@@ -186,9 +186,8 @@ class TestProtocolScenarios:
     def test_older_wins_requester_abort(self):
         """Under OLDER_WINS a young requester self-aborts at the first
         older holder — the early exit point must not move."""
-        cfg = default_system(DetectionScheme.SUBBLOCK, 4)
-        cfg = replace(
-            cfg, htm=replace(cfg.htm, resolution=ConflictResolution.OLDER_WINS)
+        cfg = default_system(DetectionScheme.SUBBLOCK, 4).with_policy(
+            resolution=ConflictResolution.OLDER_WINS
         )
         m = Mirror(cfg)
         m.begin(0)  # older

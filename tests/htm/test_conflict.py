@@ -72,3 +72,62 @@ class TestConflictRecord:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             record(1, 2, 4).time = 0  # type: ignore[misc]
+
+
+class TestWawRawBoundary:
+    """Mixed read+write victim masks: the WAW/WAR boundary is "did the
+    victim read the line at all", never mask overlap or ordering."""
+
+    def test_disjoint_read_and_write_bytes_is_war(self):
+        # Victim wrote bytes 0-3 and read bytes 8-11: the read makes any
+        # store against it read-dependent, even though the masks are
+        # disjoint.
+        assert classify_type(True, 0x0F00, 0x000F) is ConflictType.WAR
+
+    def test_single_read_byte_flips_waw_to_war(self):
+        assert classify_type(True, 0, 0xFFFF) is ConflictType.WAW
+        assert classify_type(True, 0x1, 0xFFFF) is ConflictType.WAR
+
+    def test_overlapping_read_write_bytes_is_war(self):
+        # Read-then-write of the same bytes is still read-dependent.
+        assert classify_type(True, 0xFF, 0xFF) is ConflictType.WAR
+
+    def test_load_against_mixed_mask_stays_raw(self):
+        assert classify_type(False, 0x0F, 0xF0) is ConflictType.RAW
+        assert classify_type(False, 0xFF, 0xFF) is ConflictType.RAW
+
+    def test_empty_victim_write_mask_is_war(self):
+        # A pure reader can never yield WAW, whatever the store touches.
+        assert classify_type(True, 0x1, 0) is ConflictType.WAR
+
+
+class TestWawRawBoundaryOnMachine:
+    """The same boundary observed end-to-end through a machine probe."""
+
+    def _conflict(self, victim_reads: bool, victim_writes: bool):
+        from repro.config import DetectionScheme, default_system
+        from tests.conftest import TxnDriver, make_machine
+
+        d = TxnDriver(make_machine(default_system(DetectionScheme.ASF_BASELINE)))
+        line = 0xA0000
+        d.begin(0)
+        if victim_reads:
+            d.read(0, line + 8, 4)
+        if victim_writes:
+            d.write(0, line, 4)
+        d.begin(1)
+        out = d.write(1, line + 32, 4)
+        assert len(out.conflicts) == 1
+        return out.conflicts[0]
+
+    def test_pure_writer_victim_records_waw(self):
+        rec = self._conflict(victim_reads=False, victim_writes=True)
+        assert rec.ctype is ConflictType.WAW
+
+    def test_mixed_victim_records_war(self):
+        # Victim read one word and wrote another (disjoint bytes): the
+        # probe against its line must classify WAR, not WAW.
+        rec = self._conflict(victim_reads=True, victim_writes=True)
+        assert rec.ctype is ConflictType.WAR
+        assert rec.victim_read_mask and rec.victim_write_mask
+        assert rec.victim_read_mask & rec.victim_write_mask == 0

@@ -12,8 +12,7 @@ L = 0x90000
 
 
 def driver(policy: ConflictResolution, scheme=DetectionScheme.ASF_BASELINE):
-    cfg = default_system(scheme)
-    cfg = replace(cfg, htm=replace(cfg.htm, resolution=policy))
+    cfg = default_system(scheme).with_policy(resolution=policy)
     return TxnDriver(make_machine(cfg))
 
 
@@ -84,9 +83,8 @@ class TestOlderWins:
         from repro.sim.engine import SimulationEngine
         from repro.workloads.synthetic import SyntheticWorkload
 
-        cfg = default_system(scheme, 4)
-        cfg = replace(
-            cfg, htm=replace(cfg.htm, resolution=ConflictResolution.OLDER_WINS)
+        cfg = default_system(scheme, 4).with_policy(
+            resolution=ConflictResolution.OLDER_WINS
         )
         w = SyntheticWorkload(txns_per_core=30, n_records=48, hot_fraction=0.4)
         engine = SimulationEngine(cfg, w.build(8, 9), seed=9, check_atomicity=True)

@@ -119,11 +119,7 @@ def test_kernel_parity_older_wins(workload):
     from repro.config import ConflictResolution
 
     base = default_system().with_scheme(DetectionScheme.SUBBLOCK, 4)
-    cfg = dataclasses.replace(
-        base, htm=dataclasses.replace(
-            base.htm, resolution=ConflictResolution.OLDER_WINS
-        )
-    )
+    cfg = base.with_policy(resolution=ConflictResolution.OLDER_WINS)
     obj = _run(cfg.with_kernel("object"), workload)
     arr = _run(cfg.with_kernel("array"), workload)
     flat = _run(cfg.with_kernel("flat"), workload)

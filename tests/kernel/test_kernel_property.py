@@ -24,7 +24,15 @@ import dataclasses
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import DetectionScheme, default_system
+from repro.config import (
+    ConflictResolution,
+    DetectionScheme,
+    DetectionTiming,
+    HtmPolicy,
+    LazyArbitration,
+    VersionMgmt,
+    default_system,
+)
 from repro.errors import SimulationError
 from repro.htm.ops import read_op, work_op, write_op
 from repro.sim.engine import SimulationEngine
@@ -40,6 +48,30 @@ SET_STRIDE = 512 * 64
 CAP_BASE = 0x100000  # clear of LINES so bursts don't alias the hot space
 
 KERNELS = ("object", "array", "flat")
+
+# Every valid point of the policy matrix (eager VM + lazy CD is rejected
+# by HtmPolicy itself); lazy detection is sampled under both arbitration
+# modes.  Tight stall knobs keep stall/backoff interleavings short while
+# still exercising the park/fallback paths.
+POLICY_POINTS = tuple(
+    HtmPolicy(
+        version_mgmt=vm,
+        conflict_detection=cd,
+        resolution=res,
+        lazy_arbitration=arb,
+        stall_cycles=16,
+        stall_limit=3,
+        stall_queue_depth=2,
+    )
+    for vm in VersionMgmt
+    for cd in DetectionTiming
+    if not (vm is VersionMgmt.EAGER and cd is DetectionTiming.LAZY)
+    for res in ConflictResolution
+    for arb in (
+        LazyArbitration if cd is DetectionTiming.LAZY
+        else (LazyArbitration.COMMITTER_WINS,)
+    )
+)
 
 
 @st.composite
@@ -119,6 +151,44 @@ def test_random_scripts_identical_summaries_asf(program, seed):
 @given(program=programs(), seed=st.integers(0, 7))
 def test_random_scripts_identical_summaries_decoupled(program, seed):
     _assert_parity(DetectionScheme.DECOUPLED, program, seed)
+
+
+def _outcome_policy(kernel, policy, scheme, n_cores, core_scripts, seed):
+    cfg = (
+        default_system()
+        .with_scheme(scheme)
+        .with_kernel(kernel)
+        .with_policy(policy)
+    )
+    cfg = dataclasses.replace(cfg, n_cores=n_cores)
+    eng = SimulationEngine(cfg, core_scripts, seed=seed, check_atomicity=True)
+    try:
+        eng.run()
+    except SimulationError as exc:
+        return ("SimulationError", str(exc))
+    return RunSummary.from_sink(eng.stats).to_dict()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=programs(),
+    policy=st.sampled_from(POLICY_POINTS),
+    scheme=st.sampled_from(
+        (DetectionScheme.SUBBLOCK, DetectionScheme.ASF_BASELINE,
+         DetectionScheme.DECOUPLED)
+    ),
+    seed=st.integers(0, 3),
+)
+def test_random_policy_points_identical_summaries(program, policy, scheme, seed):
+    """Any valid policy point must agree across all three kernels —
+    stall counters, arbitration aborts, everything in the summary."""
+    n_cores, core_scripts = program
+    ref = _outcome_policy(KERNELS[0], policy, scheme, n_cores, core_scripts, seed)
+    for kernel in KERNELS[1:]:
+        assert (
+            _outcome_policy(kernel, policy, scheme, n_cores, core_scripts, seed)
+            == ref
+        )
 
 
 def test_capacity_burst_is_fatal_identically_on_all_kernels():

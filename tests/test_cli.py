@@ -226,3 +226,57 @@ class TestSeedFigures:
         assert "Figure 10: Improvement of overall execution time, mean" in out
         assert "Commit rate per system" in out
         assert "% ± " in out
+
+
+class TestPolicyCli:
+    def test_policies_prints_matrix(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "version mgmt" in out and "resolution" in out
+        assert "the paper's ASF machine" in out
+        assert "stall_backoff" in out and "committer_wins" in out
+        # The invalid axis combination is documented, not listed.
+        assert out.count("requester_wins") >= 3
+
+    def test_policy_flags_parse_everywhere(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "kmeans", "--policy", "lazy"],
+            ["run", "kmeans", "--resolution", "stall_backoff"],
+            ["suite", "--policy", "eager"],
+            ["sweep", "kmeans", "--axis", "policy"],
+            ["trace", "kmeans", "x.jsonl", "--policy", "lazy"],
+            ["replay", "x.jsonl", "--resolution", "older_wins"],
+            ["ablate", "kmeans", "--policy", "eager"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "kmeans", "--policy", "tcc"])
+
+    def test_run_with_stall_resolution(self, capsys):
+        assert main(
+            ["run", "ssca2", "--txns", "10",
+             "--resolution", "stall_backoff"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "asf" in out and "improvement" in out
+
+    def test_run_with_lazy_policy_object_kernel_matches_flat(self, capsys):
+        argv = ["run", "ssca2", "--txns", "10", "--policy", "lazy"]
+        assert main(argv + ["--kernel", "flat"]) == 0
+        flat_out = capsys.readouterr().out
+        assert main(argv + ["--kernel", "object"]) == 0
+        assert capsys.readouterr().out == flat_out
+
+    def test_sweep_policy_axis_renders_matrix(self, capsys):
+        assert main(
+            ["sweep", "ssca2", "--txns", "10", "--axis", "policy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Scheme × policy matrix" in out
+        for label in ("asf", "subblock", "eager", "lazy", "stall"):
+            assert label in out
+        assert "lazy-vm/eager-cd/stall_backoff" in out

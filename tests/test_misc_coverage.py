@@ -152,5 +152,7 @@ class TestConfigResolutionDefault:
     def test_explicit_policy_respected(self):
         from repro.config import ConflictResolution, HtmConfig
 
-        cfg = HtmConfig(resolution=ConflictResolution.OLDER_WINS)
+        from repro.config import HtmPolicy
+
+        cfg = HtmConfig(policy=HtmPolicy(resolution=ConflictResolution.OLDER_WINS))
         assert cfg.resolution is ConflictResolution.OLDER_WINS
