@@ -151,7 +151,7 @@ def test_run_many_serial_dispatch(benchmark):
         for s in (1, 2)
     ]
     results = benchmark.pedantic(
-        lambda: run_many(specs, jobs=1), rounds=3, iterations=1
+        lambda: run_many(specs, "serial"), rounds=3, iterations=1
     )
     assert [r.seed for r in results] == [1, 2]
     assert all(r.stats.txn_commits == cfg.n_cores * 15 for r in results)

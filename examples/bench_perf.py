@@ -49,6 +49,7 @@ from repro.analysis.experiments import run_suite
 from repro.analysis.figures import compute_all_figures
 from repro.config import DetectionScheme, default_system
 from repro.sim.engine import SimulationEngine
+from repro.sim.executors import ExecConfig
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import compare_systems
 from repro.workloads.registry import get_workload
@@ -242,9 +243,11 @@ def bench_transfer(txns: int, jobs: int = 4, seed: int = 1) -> dict:
         for scheme in (DetectionScheme.ASF_BASELINE, DetectionScheme.SUBBLOCK,
                        DetectionScheme.PERFECT)
     ]
-    full, full_s = _timed(lambda: run_many(specs, jobs=jobs, transfer="full"))
+    full, full_s = _timed(
+        lambda: run_many(specs, ExecConfig(jobs=jobs, transfer="full"))
+    )
     lean, lean_s = _timed(
-        lambda: run_many(specs, jobs=jobs, transfer="summary")
+        lambda: run_many(specs, ExecConfig(jobs=jobs, transfer="summary"))
     )
     identical = all(
         f.stats.summary() == s.stats.summary() for f, s in zip(full, lean)

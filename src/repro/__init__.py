@@ -76,17 +76,25 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.sim.parallel import (
+    ExecConfig,
+    RunSpec,
+    build_executor,
+    iter_many,
+    parse_executor_spec,
+    run_many,
+)
 from repro.sim.runner import (
     RunResult,
     compare_systems,
     compare_systems_seeds,
     run_workload,
 )
-from repro.store import ResultsStore, StoreEntry
+from repro.store import MergeReport, ResultsStore, StoreEntry
 from repro.telemetry import RunSummary, aggregate_metrics, merge_summaries
 from repro.workloads.registry import BENCHMARK_NAMES, all_workloads, get_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AtomicityViolation",
@@ -97,15 +105,18 @@ __all__ = [
     "ConflictTimeline",
     "DetectionScheme",
     "DetectionTiming",
+    "ExecConfig",
     "HtmConfig",
     "HtmPolicy",
     "LatencyConfig",
     "LazyArbitration",
+    "MergeReport",
     "POLICY_PRESETS",
     "ProtocolError",
     "ReproError",
     "ResultsStore",
     "RunResult",
+    "RunSpec",
     "RunSummary",
     "SeedSweepResults",
     "SimulationError",
@@ -120,14 +131,18 @@ __all__ = [
     "aggregate_metrics",
     "all_workloads",
     "analyze_trace",
+    "build_executor",
     "compare_systems",
     "compare_systems_seeds",
     "conflict_survives",
     "default_system",
     "get_workload",
+    "iter_many",
     "merge_summaries",
+    "parse_executor_spec",
     "read_events",
     "reduction_by_granularity",
+    "run_many",
     "run_seed_sweep",
     "run_suite",
     "run_workload",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.config import DetectionScheme, SystemConfig, default_system
+from repro.sim.executors import as_exec_config
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import RunResult
 from repro.telemetry.summary import MetricStats, aggregate_metrics
@@ -132,6 +133,7 @@ def run_suite(
     store: "ResultsStore | None" = None,
     on_result=None,
     trace_dir: str | None = None,
+    executor=None,
 ) -> SuiteResults:
     """Run every benchmark under baseline/sub-block/perfect.
 
@@ -145,6 +147,10 @@ def run_suite(
     streams cannot round-trip through JSON); ``on_result`` fires as each
     run completes.  ``trace_dir`` records every run as a JSONL event
     trace (``<bench>_<scheme>.jsonl``) for post-hoc forensics.
+    ``executor`` picks the execution backend (an
+    :class:`~repro.sim.executors.ExecConfig` or spec string like
+    ``process:8`` / ``remote:hosts.txt``); ``jobs``/``store``/
+    ``on_result`` overlay it.
     """
     import os
 
@@ -180,7 +186,8 @@ def run_suite(
         for name in benchmarks
         for scheme in _SUITE_SCHEMES
     ]
-    results = run_many(specs, jobs=jobs, store=store, on_result=on_result)
+    cfg = as_exec_config(executor, jobs=jobs, store=store, on_result=on_result)
+    results = run_many(specs, cfg)
     for i, name in enumerate(benchmarks):
         runs: dict[DetectionScheme, RunResult] = {
             scheme: results[i * len(_SUITE_SCHEMES) + j]
@@ -224,6 +231,7 @@ def run_seed_sweep(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> SeedSweepResults:
     """Repeat benchmarks × schemes over several seeds.
 
@@ -248,9 +256,10 @@ def run_seed_sweep(
         for scheme in schemes
         for seed in seeds
     ]
-    results = run_many(
-        specs, jobs=jobs, transfer="summary", store=store, on_result=on_result
+    cfg = as_exec_config(
+        executor, jobs=jobs, transfer="summary", store=store, on_result=on_result
     )
+    results = run_many(specs, cfg)
     sweep = SeedSweepResults(
         txns_per_core=txns_per_core,
         seeds=tuple(seeds),

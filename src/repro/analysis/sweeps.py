@@ -39,6 +39,7 @@ from repro.config import (
     SystemConfig,
     default_system,
 )
+from repro.sim.executors import as_exec_config
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.runner import RunResult
 from repro.workloads.base import Workload
@@ -80,6 +81,7 @@ def _run_points(
     tolerate_violations: bool = False,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> list[AblationPoint]:
     """Run one spec per (label, config) point, preserving axis order."""
     specs = [
@@ -93,7 +95,8 @@ def _run_points(
         )
         for label, cfg in points
     ]
-    results = run_many(specs, jobs=jobs, store=store, on_result=on_result)
+    cfg = as_exec_config(executor, jobs=jobs, store=store, on_result=on_result)
+    results = run_many(specs, cfg)
     return [
         AblationPoint(label=spec.label, result=res, violations=res.violations)
         for spec, res in zip(specs, results)
@@ -108,6 +111,7 @@ def sweep_subblocks(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> list[AblationPoint]:
     """Closed-loop sub-block sweep (N=1 is the baseline by construction)."""
     base = config if config is not None else default_system()
@@ -115,7 +119,8 @@ def sweep_subblocks(
         (f"N={n}", base.with_scheme(DetectionScheme.SUBBLOCK, n)) for n in counts
     ]
     return _run_points(
-        workload, points, seed, jobs=jobs, store=store, on_result=on_result
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result,
+        executor=executor,
     )
 
 
@@ -127,6 +132,7 @@ def sweep_cores(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> list[AblationPoint]:
     """How false-conflict pressure scales with the number of sharers."""
     points = [
@@ -137,7 +143,8 @@ def sweep_cores(
         for n_cores in core_counts
     ]
     return _run_points(
-        workload, points, seed, jobs=jobs, store=store, on_result=on_result
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result,
+        executor=executor,
     )
 
 
@@ -149,6 +156,7 @@ def ablation_forced_waw(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> tuple[AblationPoint, AblationPoint]:
     """Sub-blocking with and without the forced-WAW abort rule.
 
@@ -167,6 +175,7 @@ def ablation_forced_waw(
         jobs=jobs,
         store=store,
         on_result=on_result,
+        executor=executor,
     )
     return with_rule, without_rule
 
@@ -179,6 +188,7 @@ def ablation_dirty_state(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> tuple[AblationPoint, AblationPoint]:
     """Dirty handling on vs off; the off variant also reports how many
     atomicity violations the checker found (it is *incorrect* hardware,
@@ -203,7 +213,8 @@ def ablation_dirty_state(
             tolerate_violations=True,
         ),
     ]
-    on_res, off_res = run_many(specs, jobs=jobs, store=store, on_result=on_result)
+    cfg = as_exec_config(executor, jobs=jobs, store=store, on_result=on_result)
+    on_res, off_res = run_many(specs, cfg)
     on = AblationPoint(label=specs[0].label, result=on_res)
     off = AblationPoint(
         label=specs[1].label, result=off_res, violations=off_res.violations
@@ -218,6 +229,7 @@ def sweep_resolution(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> list[AblationPoint]:
     """Requester-wins (ASF) vs older-wins vs stall/backoff resolution.
 
@@ -231,7 +243,7 @@ def sweep_resolution(
         points.append((policy.value, cfg))
     return _run_points(
         workload, points, seed, jobs=jobs, check=True, store=store,
-        on_result=on_result,
+        on_result=on_result, executor=executor,
     )
 
 
@@ -248,6 +260,7 @@ def sweep_policy_matrix(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> list[AblationPoint]:
     """Scheme × policy grid: every detection scheme at every policy point.
 
@@ -270,7 +283,8 @@ def sweep_policy_matrix(
             cfg = base.with_scheme(scheme, n_subblocks).with_policy(policy)
             points.append((f"{scheme.value}×{name}", cfg))
     return _run_points(
-        workload, points, seed, jobs=jobs, store=store, on_result=on_result
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result,
+        executor=executor,
     )
 
 
@@ -282,6 +296,7 @@ def sweep_backoff(
     jobs: int = 1,
     store: "ResultsStore | None" = None,
     on_result=None,
+    executor=None,
 ) -> list[AblationPoint]:
     """Backoff-base sensitivity (the paper's software-library knob)."""
     points = []
@@ -297,5 +312,6 @@ def sweep_backoff(
         )
         points.append((f"base={base_cycles}", cfg))
     return _run_points(
-        workload, points, seed, jobs=jobs, store=store, on_result=on_result
+        workload, points, seed, jobs=jobs, store=store, on_result=on_result,
+        executor=executor,
     )

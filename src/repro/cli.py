@@ -16,6 +16,15 @@ Subcommands::
     repro-asf analyze events.jsonl       # conflict forensics from a trace
     repro-asf store ls DIR               # inspect a results store
     repro-asf store gc DIR --keep-last 8 # prune a results store
+    repro-asf store merge DEST SRC...    # union per-host checkpoint dirs
+    repro-asf worker --connect HOST:PORT # join a remote sweep as a worker
+
+``--executor SPEC`` on ``run``/``suite``/``sweep``/``ablate`` picks the
+execution backend: ``serial`` (in-process reference), ``process`` /
+``process:N`` (local pool, N workers), ``remote`` / ``remote:PORT`` /
+``remote:HOST:PORT`` / ``remote:HOSTS_FILE`` (TCP coordinator; workers
+join via ``repro-asf worker``).  ``--jobs N`` remains as a deprecated
+alias for ``process:N``.  See ``docs/DISTRIBUTED.md`` for the fabric.
 
 ``--trace-dir DIR`` on ``run``/``suite`` records every run's event
 trace into DIR *and* writes a ``<run>.report.txt`` forensics report next
@@ -109,6 +118,35 @@ class _ProgressLine:
         if self.enabled and self.done:
             sys.stderr.write("\r" + " " * 52 + "\r")
             sys.stderr.flush()
+
+
+def _executor_config(args: argparse.Namespace, store=None, on_result=None):
+    """The :class:`~repro.sim.executors.ExecConfig` the CLI flags select.
+
+    ``--executor SPEC`` wins; ``--jobs N`` (the deprecated alias) maps to
+    ``process:N`` with a :class:`DeprecationWarning` when it deviates
+    from the serial default.
+    """
+    import warnings
+
+    from repro.sim.executors import as_exec_config, parse_executor_spec
+
+    spec = getattr(args, "executor", None)
+    jobs = getattr(args, "jobs", 1)
+    if spec is not None:
+        cfg = parse_executor_spec(spec)
+    else:
+        if jobs != 1:
+            alias = f"process:{jobs}" if jobs > 0 else "process"
+            warnings.warn(
+                f"--jobs is deprecated; use --executor {alias}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        cfg = as_exec_config(None, jobs=jobs)
+    cfg.store = store
+    cfg.on_result = on_result
+    return cfg
 
 
 def _open_store(args: argparse.Namespace):
@@ -290,8 +328,10 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             by_scheme = compare_systems_seeds(
                 workload, seeds, n_subblocks=args.subblocks,
                 config=_base_config(args),
-                check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
-                store=store, on_result=progress, trace_dir=args.trace_dir,
+                check_atomicity=args.check, schemes=schemes,
+                executor=_executor_config(args, store=store,
+                                          on_result=progress),
+                trace_dir=args.trace_dir,
             )
         finally:
             progress.finish()
@@ -328,8 +368,9 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         results = compare_systems(
             workload, seed=args.seed, n_subblocks=args.subblocks,
             config=_base_config(args),
-            check_atomicity=args.check, schemes=schemes, jobs=args.jobs,
-            store=store, on_result=progress, trace_dir=args.trace_dir,
+            check_atomicity=args.check, schemes=schemes,
+            executor=_executor_config(args, store=store, on_result=progress),
+            trace_dir=args.trace_dir,
         )
     finally:
         progress.finish()
@@ -353,9 +394,10 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         n_suite = len(BENCHMARK_NAMES) * 3
         progress = _ProgressLine(n_suite)
         suite = run_suite(
-            txns_per_core=args.txns, seed=args.seed, jobs=args.jobs,
+            txns_per_core=args.txns, seed=args.seed,
             config=_base_config(args),
-            store=store, on_result=progress, trace_dir=args.trace_dir,
+            executor=_executor_config(args, store=store, on_result=progress),
+            trace_dir=args.trace_dir,
         )
         progress.finish()
         out = render_all(suite)
@@ -363,9 +405,10 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             seeds = _seed_list(args)
             progress = _ProgressLine(n_suite * len(seeds))
             sweep = run_seed_sweep(
-                txns_per_core=args.txns, seeds=seeds, jobs=args.jobs,
+                txns_per_core=args.txns, seeds=seeds,
                 config=_base_config(args),
-                store=store, on_result=progress,
+                executor=_executor_config(args, store=store,
+                                          on_result=progress),
             )
             progress.finish()
             out += "\n\n" + "=" * 72 + "\n\n" + render_seed_figures(sweep)
@@ -482,6 +525,27 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    from repro.store import ResultsStore
+
+    with ResultsStore(args.dest, fresh=False) as store:
+        report = store.merge(args.sources)
+        print(f"{args.dest}: {report.format()}")
+        print(f"{args.dest}: {len(store)} total entries")
+    return 1 if report.conflicts else 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.sim.remote import worker_main
+
+    return worker_main(
+        args.connect,
+        worker_id=args.id,
+        token=args.token,
+        max_batches=args.max_batches,
+    )
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     cfg = SystemConfig()
     model = OverheadModel(l1=cfg.l1, n_subblocks=args.subblocks)
@@ -498,9 +562,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     progress = _ProgressLine(len(counts))
     try:
         points = sweep_subblocks(
-            workload, counts=counts, seed=args.seed, jobs=args.jobs,
+            workload, counts=counts, seed=args.seed,
             config=_base_config(args),
-            store=store, on_result=progress,
+            executor=_executor_config(args, store=store, on_result=progress),
         )
     finally:
         progress.finish()
@@ -542,7 +606,7 @@ def _cmd_sweep_policy(args: argparse.Namespace, workload) -> int:
         points = sweep_policy_matrix(
             workload, schemes=schemes, policies=policies, seed=args.seed,
             config=default_system().with_kernel(args.kernel),
-            jobs=args.jobs, store=store, on_result=progress,
+            executor=_executor_config(args, store=store, on_result=progress),
         )
     finally:
         progress.finish()
@@ -624,11 +688,12 @@ def _cmd_policies(_args: argparse.Namespace) -> int:
 def _cmd_ablate(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark, args.txns)
     cfg = _base_config(args)
+    executor = _executor_config(args)
     on, off = ablation_dirty_state(
-        workload, seed=args.seed, config=cfg, jobs=args.jobs
+        workload, seed=args.seed, config=cfg, executor=executor
     )
     with_rule, without = ablation_forced_waw(
-        workload, seed=args.seed, config=cfg, jobs=args.jobs
+        workload, seed=args.seed, config=cfg, executor=executor
     )
     print(
         format_table(
@@ -732,9 +797,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         policy_flags(p)
         p.add_argument(
+            "--executor", metavar="SPEC", default=None,
+            help="execution backend: 'serial' (in-process reference), "
+            "'process' (pool, all cores), 'process:N' (pool, N workers), "
+            "'remote' (coordinator on an ephemeral loopback port), "
+            "'remote:PORT' (bound to 0.0.0.0:PORT), 'remote:HOST:PORT', or "
+            "'remote:HOSTS_FILE' (bind/launch lines; see docs/DISTRIBUTED.md)"
+            "; every backend is bit-identical to serial",
+        )
+        p.add_argument(
             "--jobs", "-j", type=int, default=1,
-            help="worker processes for independent runs "
-            "(1 = serial, 0 = all cores); results are identical either way",
+            help="deprecated alias for --executor process:N "
+            "(1 = serial, 0 = all cores)",
         )
         if seeds:
             p.add_argument(
@@ -834,6 +908,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_store_gc.add_argument("--scheme", default=None,
                             help="drop runs of this scheme")
     p_store_gc.set_defaults(func=_cmd_store)
+    p_store_merge = store_sub.add_parser(
+        "merge",
+        help="union other checkpoint dirs into DEST (idempotent: "
+        "content-hashed keys dedup re-runs; divergent payloads are "
+        "reported and overwritten last-writer-wins)",
+    )
+    p_store_merge.add_argument("dest", help="destination store directory "
+                               "(created if missing)")
+    p_store_merge.add_argument("sources", nargs="+",
+                               help="store directories (or results.jsonl "
+                               "files) to merge in, in order")
+    p_store_merge.set_defaults(func=_cmd_store_merge)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a remote sweep: connect to a coordinator, execute "
+        "batches until told to stop (see docs/DISTRIBUTED.md)",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (printed by the remote executor)",
+    )
+    p_worker.add_argument(
+        "--id", default=None,
+        help="worker identity for provenance stamping (default: host:pid)",
+    )
+    p_worker.add_argument(
+        "--token", default="",
+        help="shared secret echoed in the hello (must match the "
+        "coordinator's --token / hosts-file token)",
+    )
+    p_worker.add_argument(
+        "--max-batches", type=int, default=None, metavar="N",
+        help="exit after N batches (drain-style launchers and tests)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_ovh = sub.add_parser("overhead", help="Section IV-E hardware cost model")
     p_ovh.add_argument("--subblocks", type=int, default=4)

@@ -23,31 +23,40 @@ Three properties are load-bearing:
   the full collector's; only event-recording specs pay full pickling.
 
 The execution core is :func:`iter_many` — a *streaming* generator that
-yields ``(index, result)`` pairs as workers complete, holding at most a
-bounded window of in-flight work in the parent (``jobs ×``
-:data:`STREAM_BACKLOG`), so a 10k-spec sweep feeds an accumulator
-without ever materialising 10k results.  :func:`run_many` is a thin
-collector over it that restores spec order.  Both survive mid-batch
-worker deaths and per-spec timeouts (bounded pool retries, then an
-in-process serial fallback), stamping the affected results with their
-provenance; both accept a :class:`~repro.store.ResultsStore` to
-checkpoint every completion and to skip specs a previous (interrupted)
-sweep already finished.
+yields ``(index, result)`` pairs as runs complete.  *How* the batch
+executes is delegated to a pluggable :class:`~repro.sim.executors.Executor`
+(``serial`` in-process, ``process`` pool fan-out, ``remote`` TCP fleet —
+see :mod:`repro.sim.executors` and :mod:`repro.sim.remote`), configured
+by one :class:`~repro.sim.executors.ExecConfig` instead of the historic
+keyword sprawl; the old ``jobs=``/``timeout=``/… keywords still work
+through deprecation shims.  :func:`run_many` is a thin collector over
+:func:`iter_many` that restores spec order.  Store checkpointing and
+resume live *here*, backend-agnostically: every summary-shaped
+completion is recorded to the :class:`~repro.store.ResultsStore` as it
+arrives, and already-stored specs are served without re-simulating.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from collections import OrderedDict, deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.config import SystemConfig
 from repro.errors import SimulationError
 from repro.sim.engine import SimulationEngine
+from repro.sim.executors import (
+    STREAM_BACKLOG,
+    ExecConfig,
+    ExecTask,
+    Executor,
+    as_exec_config,
+    build_executor,
+    mark_provenance,
+    parse_executor_spec,
+    resolve_jobs,
+)
 from repro.sim.runner import RunResult
 from repro.telemetry.summary import RunSummary
 from repro.workloads.base import CoreScript, Workload
@@ -56,12 +65,16 @@ if TYPE_CHECKING:
     from repro.store import ResultsStore
 
 __all__ = [
+    "ExecConfig",
+    "Executor",
     "RunSpec",
     "STREAM_BACKLOG",
     "TRANSFER_MODES",
+    "build_executor",
     "compiled_scripts",
     "execute_spec_transfer",
     "iter_many",
+    "parse_executor_spec",
     "resolve_jobs",
     "resolve_transfer",
     "run_many",
@@ -209,13 +222,6 @@ def execute_spec(spec: RunSpec) -> RunResult:
     )
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value: None/0/negative mean "all cores"."""
-    if jobs is None or jobs <= 0:
-        return max(os.cpu_count() or 1, 1)
-    return jobs
-
-
 def resolve_transfer(spec: RunSpec, override: str | None) -> str:
     """Concrete transfer mode ("summary" | "full") for one spec.
 
@@ -261,20 +267,9 @@ def execute_spec_transfer(spec: RunSpec, mode: str) -> RunResult:
     return res
 
 
-def _mark(res: RunResult, worker_retries: int = 0, serial_fallback: bool = False) -> RunResult:
-    """Stamp resilience provenance on a result (and its summary)."""
-    res.worker_retries = worker_retries
-    res.serial_fallback = serial_fallback
-    if isinstance(res.stats, RunSummary):
-        res.stats.worker_retries = worker_retries
-        res.stats.serial_fallback = serial_fallback
-    return res
-
-
-#: In-flight futures per worker slot.  The window (``jobs ×
-#: STREAM_BACKLOG``) bounds both parent-side retained results and the
-#: submission backlog that keeps workers from idling between specs.
-STREAM_BACKLOG = 2
+#: Backwards-compatible alias; the canonical name lives in
+#: :mod:`repro.sim.executors`.
+_mark = mark_provenance
 
 
 def _record_to_store(store: "ResultsStore | None", spec: RunSpec, res: RunResult) -> None:
@@ -282,51 +277,96 @@ def _record_to_store(store: "ResultsStore | None", spec: RunSpec, res: RunResult
         store.record(spec, res)
 
 
+#: Keyword arguments :func:`run_many`/:func:`iter_many` accepted before
+#: the :class:`ExecConfig` redesign.  They keep working through the
+#: deprecation shim below (one release), mapped onto the equivalent
+#: config field.
+_LEGACY_KWARGS = (
+    "jobs",
+    "transfer",
+    "timeout",
+    "worker_retries",
+    "store",
+    "resume",
+    "on_result",
+)
+
+
+def _shim_config(
+    executor: "ExecConfig | Executor | str | int | None",
+    legacy: dict,
+    caller: str,
+) -> "ExecConfig | Executor":
+    """Map pre-ExecConfig keyword arguments onto a config, with a warning."""
+    unknown = set(legacy) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    if legacy:
+        warnings.warn(
+            f"{caller}({', '.join(sorted(legacy))}=...) keyword arguments are "
+            "deprecated; pass an ExecConfig (or an --executor spec string "
+            "like 'process:8') as the `executor` argument instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return as_exec_config(executor, **legacy)
+
+
 def iter_many(
     specs: list[RunSpec] | Iterable[RunSpec],
-    jobs: int = 1,
+    executor: "ExecConfig | Executor | str | int | None" = None,
     *,
-    transfer: str | None = None,
-    timeout: float | None = None,
-    worker_retries: int = 1,
-    store: "ResultsStore | None" = None,
-    resume: bool = True,
     stream_stats: dict | None = None,
+    **legacy,
 ) -> Iterator[tuple[int, RunResult]]:
     """Yield ``(index, result)`` pairs as runs complete, memory-bounded.
 
     The streaming core of the sweep pipeline: results are handed to the
-    consumer the moment a worker finishes them (completion order, not
-    spec order), and at most ``jobs × STREAM_BACKLOG`` runs are in
-    flight, so parent-side memory is O(jobs) in sweep length.  Each
-    simulation is seeded, so per-run results are bit-identical to the
-    serial reference regardless of scheduling.
+    consumer the moment a backend finishes them (completion order, not
+    spec order).  Each simulation is seeded, so per-run results are
+    bit-identical to the serial reference regardless of scheduling or
+    backend.
 
-    ``store`` checkpoints every summary-shaped completion as it arrives;
-    with ``resume=True`` (default) specs the store already holds are
-    served from it immediately, without re-simulating — an interrupted
-    sweep re-invoked with the same store finishes only the missing work.
+    ``executor`` names the execution strategy: an
+    :class:`~repro.sim.executors.ExecConfig`, a spec string (``serial``,
+    ``process:8``, ``remote:hosts.txt`` — see
+    :func:`~repro.sim.executors.parse_executor_spec`), a live
+    :class:`~repro.sim.executors.Executor`, a bare int (worker count),
+    or ``None`` for the in-process default.  The historic keyword
+    arguments (``jobs``, ``transfer``, ``timeout``, ``worker_retries``,
+    ``store``, ``resume``) still work through a :class:`DeprecationWarning`
+    shim that maps them onto the equivalent config field.
 
-    Resilience matches :func:`run_many` (it is the same machinery):
-    worker deaths get up to ``worker_retries`` fresh pools before an
-    in-process serial fallback, per-spec timeouts send stragglers
-    serial, and pool-construction failure degrades the whole batch to
-    serial.  ``stream_stats`` (a dict, optional) receives
-    ``peak_inflight`` / ``served_from_store`` / ``pool_rotations``
-    instrumentation.
+    Store checkpointing is backend-agnostic and lives here: every
+    summary-shaped completion is recorded to ``config.store`` as it
+    arrives, and (with ``config.resume``, the default) specs the store
+    already holds are served from it immediately, without re-simulating —
+    an interrupted sweep re-invoked with the same store finishes only
+    the missing work.  Only summary-shaped results round-trip through
+    the store; a ``"full"`` spec (event recording) always re-runs.
+
+    ``stream_stats`` (a dict, optional) receives instrumentation from
+    this layer (``served_from_store``) and the backend
+    (``peak_inflight`` / ``pool_rotations`` for the pool,
+    ``workers_joined`` / ``batches_requeued`` / ``duplicates_dropped``
+    for the remote fabric).
     """
+    cfg = _shim_config(executor, legacy, "iter_many")
     specs = list(specs)
-    jobs = resolve_jobs(jobs)
-    modes = [resolve_transfer(spec, transfer) for spec in specs]
     stats = stream_stats if stream_stats is not None else {}
     stats.setdefault("peak_inflight", 0)
     stats.setdefault("served_from_store", 0)
     stats.setdefault("pool_rotations", 0)
 
-    pending: list[int] = []
+    backend = cfg if not isinstance(cfg, ExecConfig) else build_executor(cfg, stats)
+    conf = backend.config
+    store, resume, transfer = conf.store, conf.resume, conf.transfer
+    modes = [resolve_transfer(spec, transfer) for spec in specs]
+
+    tasks: list[ExecTask] = []
     for i, spec in enumerate(specs):
-        # Only summary-shaped results round-trip through the store; a
-        # "full" spec (event recording) always re-runs.
         if (
             store is not None
             and resume
@@ -336,214 +376,52 @@ def iter_many(
             stats["served_from_store"] += 1
             yield i, store.result_for(spec)
         else:
-            pending.append(i)
+            tasks.append(ExecTask(i, spec, modes[i]))
 
-    if jobs == 1 or len(pending) <= 1:
-        for i in pending:
-            res = execute_spec_transfer(specs[i], modes[i])
-            _record_to_store(store, specs[i], res)
-            stats["peak_inflight"] = max(stats["peak_inflight"], 1)
-            yield i, res
-        return
-
-    window = jobs * STREAM_BACKLOG
-    queue: deque[int] = deque(pending)
-    retry_count = {i: 0 for i in pending}
-    inflight: dict = {}  # future -> (index, deadline | None)
-    pool: ProcessPoolExecutor | None = None
-    pool_broken = False
-
-    def run_serial(i: int) -> tuple[int, RunResult]:
-        res = _mark(
-            execute_spec_transfer(specs[i], modes[i]),
-            worker_retries=retry_count[i],
-            serial_fallback=True,
-        )
+    for i, res in backend.run(tasks):
         _record_to_store(store, specs[i], res)
-        return i, res
-
-    def rotate_pool() -> None:
-        nonlocal pool
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = None
-        stats["pool_rotations"] += 1
-
-    try:
-        while queue or inflight:
-            if pool is None and queue:
-                try:
-                    pool = ProcessPoolExecutor(
-                        max_workers=min(jobs, len(queue) + len(inflight))
-                    )
-                except (OSError, PermissionError):
-                    # Sandboxed / fork-restricted hosts: degrade to serial
-                    # rather than failing the sweep.
-                    while queue:
-                        yield run_serial(queue.popleft())
-                    break
-
-            # Keep the window full so workers never idle between specs.
-            while pool is not None and queue and len(inflight) < window:
-                i = queue.popleft()
-                deadline = (
-                    # The budget covers pool queueing within the bounded
-                    # backlog, hence the STREAM_BACKLOG factor.
-                    time.monotonic() + timeout * STREAM_BACKLOG
-                    if timeout is not None
-                    else None
-                )
-                try:
-                    fut = pool.submit(execute_spec_transfer, specs[i], modes[i])
-                except (BrokenProcessPool, OSError, PermissionError):
-                    queue.appendleft(i)
-                    pool_broken = True
-                    break
-                inflight[fut] = (i, deadline)
-            stats["peak_inflight"] = max(stats["peak_inflight"], len(inflight))
-
-            if not pool_broken and inflight:
-                now = time.monotonic()
-                wait_for = min(
-                    (dl - now for _, dl in inflight.values() if dl is not None),
-                    default=None,
-                )
-                done, _ = wait(
-                    set(inflight),
-                    timeout=max(wait_for, 0.05) if wait_for is not None else None,
-                    return_when=FIRST_COMPLETED,
-                )
-                for fut in done:
-                    i, _dl = inflight.pop(fut)
-                    try:
-                        res = fut.result()
-                    except (BrokenProcessPool, OSError, PermissionError):
-                        queue.appendleft(i)
-                        pool_broken = True
-                        continue
-                    if retry_count[i]:
-                        _mark(res, worker_retries=retry_count[i])
-                    _record_to_store(store, specs[i], res)
-                    yield i, res
-
-            if pool_broken:
-                # A worker died (OOM-kill, segfault): everything still in
-                # flight is lost with the pool — but results that finished
-                # before the break are salvaged, not re-run.  Retry each
-                # casualty in a fresh pool up to ``worker_retries`` times,
-                # then run it serially where nothing can kill it.
-                pool_broken = False
-                casualties: list[int] = []
-                for fut, (i, _dl) in inflight.items():
-                    salvaged = False
-                    if fut.done():
-                        try:
-                            res = fut.result()
-                            salvaged = True
-                        except (BrokenProcessPool, OSError, PermissionError):
-                            pass
-                    if salvaged:
-                        if retry_count[i]:
-                            _mark(res, worker_retries=retry_count[i])
-                        _record_to_store(store, specs[i], res)
-                        yield i, res
-                    else:
-                        casualties.append(i)
-                casualties.extend(queue)
-                queue.clear()
-                inflight.clear()
-                rotate_pool()
-                for i in casualties:
-                    retry_count[i] += 1
-                    if retry_count[i] <= worker_retries:
-                        queue.append(i)
-                    else:
-                        yield run_serial(i)
-                continue
-
-            # Stragglers: a spec past its deadline is re-run serially (it
-            # cannot starve others there).  If its future was already
-            # running, the worker slot is lost until the straggler ends —
-            # rotate the pool to reclaim it, requeueing the innocent
-            # in-flight specs without a retry penalty.
-            if timeout is not None and inflight:
-                now = time.monotonic()
-                expired = [
-                    (fut, i)
-                    for fut, (i, dl) in inflight.items()
-                    if dl is not None and now >= dl
-                ]
-                stuck = False
-                for fut, i in expired:
-                    if not fut.cancel():
-                        stuck = True
-                    inflight.pop(fut)
-                    yield run_serial(i)
-                if stuck:
-                    survivors = [i for i, _dl in inflight.values()]
-                    inflight.clear()
-                    rotate_pool()
-                    for i in survivors:
-                        queue.append(i)
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        yield i, res
 
 
 def run_many(
     specs: list[RunSpec],
-    jobs: int = 1,
+    executor: "ExecConfig | Executor | str | int | None" = None,
     *,
-    transfer: str | None = None,
-    timeout: float | None = None,
-    worker_retries: int = 1,
-    store: "ResultsStore | None" = None,
-    resume: bool = True,
-    on_result: Callable[[int, RunResult], None] | None = None,
+    stream_stats: dict | None = None,
+    **legacy,
 ) -> list[RunResult]:
     """Execute every spec; results come back in spec order.
 
-    A thin collector over :func:`iter_many` — the streaming generator
-    does all the work (pooling, transfer shaping, resilience, store
-    checkpointing); this function only restores spec order.
-
-    ``jobs=1`` runs in-process (no pickling, shared script cache).
-    ``jobs>1`` fans out over a process pool; each worker executes whole
-    specs, so per-run determinism is untouched and the only difference
-    from the serial path is wall-clock.  ``jobs<=0`` uses all cores.
-
-    ``transfer`` picks what workers ship back: ``"auto"`` (default) sends
-    the compact :class:`RunSummary` unless a spec records events,
-    ``"summary"``/``"full"`` force the choice per batch (event-recording
-    specs always travel full).  Summaries carry the identical aggregate
-    counters — ``stats.summary()`` is bit-for-bit the same either way.
-
-    ``store``/``resume`` checkpoint completions to a
-    :class:`~repro.store.ResultsStore` and skip specs it already holds;
-    ``on_result(index, result)`` fires as each run completes (completion
+    A thin collector over :func:`iter_many` — the executor does all the
+    work (fan-out, transfer shaping, resilience, store checkpointing);
+    this function only restores spec order and fires
+    ``config.on_result(index, result)`` on each completion (completion
     order), feeding progress displays without a second pass.
 
-    Resilience: a worker death (OOM-kill, segfault) loses only the specs
-    it was running — those are resubmitted to a fresh pool up to
-    ``worker_retries`` times and finally re-run serially in-process, so a
-    mid-batch crash degrades to a slower batch, not a lost one.
-    ``timeout`` (seconds per spec) bounds pool residence; stragglers are
-    abandoned and re-run serially.  Both paths stamp
-    ``worker_retries``/``serial_fallback`` on the affected results.
-    Simulation errors (livelock, protocol violations) still propagate —
-    resilience covers infrastructure failures, not broken experiments.
+    ``executor`` accepts everything :func:`iter_many` does — an
+    :class:`~repro.sim.executors.ExecConfig`, a spec string
+    (``serial`` / ``process:8`` / ``remote:hosts.txt``), a live
+    executor, a bare worker count, or ``None`` for the in-process
+    default.  The deprecated keyword arguments (``jobs``, ``transfer``,
+    ``timeout``, ``worker_retries``, ``store``, ``resume``,
+    ``on_result``) keep working under a :class:`DeprecationWarning`.
+
+    Whatever the backend, each run executes whole specs with its own
+    seed, so per-run determinism is untouched and results are
+    bit-identical to the serial path; the transfer modes (``auto`` /
+    ``summary`` / ``full``) decide whether the compact
+    :class:`RunSummary` or the full collector travels back.
+
+    Resilience covers infrastructure failures, not broken experiments:
+    worker deaths and stragglers are retried within bounds and finally
+    re-run in-process (stamped ``worker_retries``/``serial_fallback``),
+    while simulation errors (livelock, protocol violations) propagate.
     """
+    cfg = _shim_config(executor, legacy, "run_many")
+    on_result = cfg.on_result if isinstance(cfg, ExecConfig) else cfg.config.on_result
     specs = list(specs)
     results: list[RunResult | None] = [None] * len(specs)
-    for i, res in iter_many(
-        specs,
-        jobs,
-        transfer=transfer,
-        timeout=timeout,
-        worker_retries=worker_retries,
-        store=store,
-        resume=resume,
-    ):
+    for i, res in iter_many(specs, cfg, stream_stats=stream_stats):
         results[i] = res
         if on_result is not None:
             on_result(i, res)

@@ -71,6 +71,9 @@ class RunResult:
     #: after a worker death, and whether it ultimately ran in-process.
     worker_retries: int = 0
     serial_fallback: bool = False
+    #: Remote-fabric provenance: ``host:pid`` of the worker that produced
+    #: this result ("" when it ran in this process).
+    worker: str = ""
 
     @property
     def false_rate(self) -> float:
@@ -170,18 +173,21 @@ def compare_systems(
     store=None,
     on_result=None,
     trace_dir: str | None = None,
+    executor=None,
 ) -> dict[str, RunResult]:
     """Run identical compiled scripts under several detection schemes.
 
     Keys of the returned dict are scheme values (``"asf"``, ``"subblock"``,
     ``"perfect"``); the workload is compiled once (per process) so every
-    system executes the same program.  ``jobs>1`` runs the schemes
-    concurrently — results are bit-identical to the serial path.
-    ``transfer``, ``store`` and ``on_result`` are forwarded to
-    :func:`~repro.sim.parallel.run_many`.  ``trace_dir`` additionally
+    system executes the same program.  ``executor`` picks the execution
+    backend (an :class:`~repro.sim.executors.ExecConfig` or spec string
+    like ``process:8``); ``jobs``/``transfer``/``store``/``on_result``
+    are per-call overrides folded onto it.  All backends are
+    bit-identical to the serial path.  ``trace_dir`` additionally
     records each scheme's run as a JSONL event trace
     (``<workload>_<scheme>.jsonl``) for post-hoc forensics.
     """
+    from repro.sim.executors import as_exec_config
     from repro.sim.parallel import RunSpec, run_many
 
     if trace_dir is not None:
@@ -203,9 +209,10 @@ def compare_systems(
         )
         for scheme in schemes
     ]
-    results = run_many(
-        specs, jobs=jobs, transfer=transfer, store=store, on_result=on_result
+    cfg = as_exec_config(
+        executor, jobs=jobs, transfer=transfer, store=store, on_result=on_result
     )
+    results = run_many(specs, cfg)
     return {scheme.value: res for scheme, res in zip(schemes, results)}
 
 
@@ -224,6 +231,7 @@ def compare_systems_seeds(
     store=None,
     on_result=None,
     trace_dir: str | None = None,
+    executor=None,
 ) -> dict[str, list[RunResult]]:
     """:func:`compare_systems` fanned out over several seeds.
 
@@ -233,8 +241,10 @@ def compare_systems_seeds(
     :func:`repro.telemetry.aggregate_metrics` for mean ± stdev.
     ``store`` checkpoints each (scheme, seed) cell for resume.
     ``trace_dir`` records every (scheme, seed) cell as
-    ``<workload>_<scheme>_s<seed>.jsonl``.
+    ``<workload>_<scheme>_s<seed>.jsonl``.  ``executor`` picks the
+    execution backend; ``jobs``/``store``/``on_result`` overlay it.
     """
+    from repro.sim.executors import as_exec_config
     from repro.sim.parallel import RunSpec, run_many
 
     if not seeds:
@@ -257,9 +267,10 @@ def compare_systems_seeds(
         for scheme in schemes
         for seed in seeds
     ]
-    results = run_many(
-        specs, jobs=jobs, transfer="summary", store=store, on_result=on_result
+    cfg = as_exec_config(
+        executor, jobs=jobs, transfer="summary", store=store, on_result=on_result
     )
+    results = run_many(specs, cfg)
     out: dict[str, list[RunResult]] = {}
     it = iter(results)
     for scheme in schemes:

@@ -8,13 +8,22 @@ atomically.  ``iter_many``/``run_many`` accept a store and (a) skip
 specs the store already holds, serving their results without
 re-simulating, and (b) persist each fresh completion as soon as it
 arrives — so an interrupted 10k-spec sweep resumes where it died
-instead of starting over.
+instead of starting over.  Because keys are content hashes,
+:meth:`~repro.store.results.ResultsStore.merge` unions per-host
+checkpoint directories from a distributed sweep idempotently (``repro-asf
+store merge``).
 
 See ``docs/ARCHITECTURE.md`` ("Streaming sweeps and the results store")
 for the layering.
 """
 
 from repro.store.keys import spec_fingerprint, spec_key
-from repro.store.results import ResultsStore, StoreEntry
+from repro.store.results import MergeReport, ResultsStore, StoreEntry
 
-__all__ = ["ResultsStore", "StoreEntry", "spec_fingerprint", "spec_key"]
+__all__ = [
+    "MergeReport",
+    "ResultsStore",
+    "StoreEntry",
+    "spec_fingerprint",
+    "spec_key",
+]

@@ -20,6 +20,16 @@ so readers never observe a half-written manifest; it is bookkeeping
 Only summary-shaped results are stored: a spec that must travel as a
 full collector (``record_events``) re-runs on resume rather than
 silently losing its event streams.
+
+Because keys are content hashes of the spec (label and metadata
+excluded), stores from *different hosts running the same sweep* agree on
+every key — :meth:`ResultsStore.merge` unions such directories
+idempotently (last-writer-wins on identical keys, with a
+:class:`MergeReport` flagging any whose physics payloads diverge, which
+would indicate non-determinism or version skew).  That is what makes
+crash/retry across a distributed fleet exactly-once at the results
+layer: re-running a spec anywhere produces the same key and the same
+payload, so merging is a no-op for it.
 """
 
 from __future__ import annotations
@@ -37,13 +47,87 @@ if TYPE_CHECKING:
     from repro.sim.parallel import RunSpec
     from repro.sim.runner import RunResult
 
-__all__ = ["ResultsStore", "StoreEntry"]
+__all__ = ["MergeReport", "ResultsStore", "StoreEntry"]
 
 #: Manifest layout version (independent of the spec-key version).
 _STORE_VERSION = 1
 
 #: Refresh the manifest every this many recorded results (plus on close).
 _MANIFEST_EVERY = 32
+
+#: Summary-payload keys that are provenance/bookkeeping, not physics:
+#: two stores may legitimately disagree on them for the same spec (the
+#: spec ran on different hosts, under different sweep labels) without
+#: that being a conflict.
+_PROVENANCE_KEYS = frozenset(
+    {"label", "worker", "worker_retries", "serial_fallback"}
+)
+
+
+def _scan_log(path: str) -> dict[str, dict]:
+    """Parse a results log into ``{key: payload}``, later lines winning.
+
+    Same tolerance as :meth:`ResultsStore._load`: a torn or corrupt line
+    ends the trustworthy prefix (but this read-only scan never truncates
+    the file it reads).
+    """
+    payloads: dict[str, dict] = {}
+    if not os.path.exists(path):
+        return payloads
+    with open(path, "rb") as fh:
+        for raw in fh:
+            if not raw.endswith(b"\n"):
+                break
+            try:
+                payload = json.loads(raw)
+                key = payload["key"]
+                payload["summary"]  # noqa: B018 - presence check
+            except (json.JSONDecodeError, KeyError, TypeError):
+                break
+            payloads[key] = payload
+    return payloads
+
+
+def _physics_diff(a: dict, b: dict) -> list[str]:
+    """Summary fields on which two payloads for one key disagree.
+
+    Provenance fields are excluded — only physics counts as divergence.
+    """
+    fields = (set(a) | set(b)) - _PROVENANCE_KEYS
+    return sorted(f for f in fields if a.get(f) != b.get(f))
+
+
+@dataclass(frozen=True, slots=True)
+class MergeReport:
+    """Outcome of :meth:`ResultsStore.merge` over one or more sources.
+
+    ``conflicts`` lists ``(spec_key, divergent_fields)`` for entries
+    whose *physics* payloads disagreed between stores — on a
+    deterministic simulator that indicates version skew between hosts
+    (the incoming payload still wins, per last-writer-wins, so the
+    merged store is self-consistent either way).
+    """
+
+    added: int = 0
+    updated: int = 0
+    unchanged: int = 0
+    conflicts: tuple[tuple[str, tuple[str, ...]], ...] = ()
+
+    @property
+    def total(self) -> int:
+        return self.added + self.updated + self.unchanged
+
+    def format(self) -> str:
+        out = (
+            f"merged {self.total} entries: {self.added} added, "
+            f"{self.unchanged} already present, {self.updated} updated"
+        )
+        if self.conflicts:
+            lines = [out, f"{len(self.conflicts)} DIVERGENT payload(s):"]
+            for key, fields in self.conflicts:
+                lines.append(f"  {key}: {', '.join(fields)}")
+            return "\n".join(lines)
+        return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,15 +221,72 @@ class ResultsStore:
         key = spec_key(spec)
         payload = {"key": key, "label": spec.label,
                    "summary": result.stats.to_dict()}
+        self._append(payload)
+        return True
+
+    def _append(self, payload: dict) -> None:
+        """Durably append one payload line and index it."""
         line = json.dumps(payload, separators=(",", ":")) + "\n"
         self._fh.write(line)
         self._fh.flush()
         os.fsync(self._fh.fileno())
-        self._payloads[key] = payload
+        self._payloads[payload["key"]] = payload
         self._since_manifest += 1
         if self._since_manifest >= _MANIFEST_EVERY:
             self.write_manifest()
-        return True
+
+    def merge(self, other_dirs: "list[str] | tuple[str, ...] | str") -> MergeReport:
+        """Union other stores' entries into this one, idempotently.
+
+        ``other_dirs`` names store directories (or ``results.jsonl``
+        files directly) — per-host checkpoint dirs from a distributed
+        sweep, say.  Spec keys are content hashes, so the same spec run
+        anywhere lands on the same key:
+
+        * keys this store lacks are appended (``added``);
+        * keys whose physics payload matches are skipped (``unchanged``
+          — the idempotent case, free re-merge after crash/retry);
+        * keys whose physics payload *diverges* are overwritten by the
+          incoming entry (last-writer-wins, counted ``updated``) and
+          reported in :attr:`MergeReport.conflicts` — on a deterministic
+          simulator divergence means version skew between hosts, so it
+          is surfaced rather than silently absorbed.
+
+        Appends are durable as they happen (same fsync discipline as
+        :meth:`record`), and the manifest is refreshed once at the end.
+        """
+        if isinstance(other_dirs, str):
+            other_dirs = (other_dirs,)
+        added = updated = unchanged = 0
+        conflicts: list[tuple[str, tuple[str, ...]]] = []
+        for source in other_dirs:
+            path = str(source)
+            if os.path.isdir(path):
+                path = os.path.join(path, "results.jsonl")
+            if not os.path.exists(path):
+                raise SimulationError(f"no results log at {path!r}")
+            if os.path.abspath(path) == os.path.abspath(self.results_path):
+                continue  # merging a store into itself is a no-op
+            for key, payload in _scan_log(path).items():
+                mine = self._payloads.get(key)
+                if mine is None:
+                    self._append(payload)
+                    added += 1
+                    continue
+                diff = _physics_diff(mine["summary"], payload["summary"])
+                if not diff:
+                    unchanged += 1
+                    continue
+                conflicts.append((key, tuple(diff)))
+                self._append(payload)
+                updated += 1
+        self.write_manifest()
+        return MergeReport(
+            added=added,
+            updated=updated,
+            unchanged=unchanged,
+            conflicts=tuple(conflicts),
+        )
 
     def result_for(self, spec: "RunSpec") -> "RunResult":
         """Reconstruct a completed spec's result from the store.
@@ -173,6 +314,7 @@ class ResultsStore:
             violations=summary.violations,
             worker_retries=summary.worker_retries,
             serial_fallback=summary.serial_fallback,
+            worker=summary.worker,
         )
 
     def iter_summaries(self) -> Iterator[RunSummary]:

@@ -91,6 +91,11 @@ class RunSummary:
     #: True when the run fell back to in-process execution (timeout or
     #: persistent worker failure).
     serial_fallback: bool = False
+    #: Remote-fabric provenance: ``host:pid`` of the worker that produced
+    #: this summary ("" when it ran locally).  Identity, like the other
+    #: provenance fields, is excluded from ``summary()`` so remote and
+    #: local runs stay bit-identical.
+    worker: str = ""
 
     @classmethod
     def from_sink(
@@ -183,6 +188,7 @@ class RunSummary:
             "n_runs": self.n_runs,
             "worker_retries": self.worker_retries,
             "serial_fallback": self.serial_fallback,
+            "worker": self.worker,
         }
         for name in COUNTER_FIELDS:
             out[name] = getattr(self, name)
@@ -205,6 +211,7 @@ class RunSummary:
             n_runs=data["n_runs"],
             worker_retries=data.get("worker_retries", 0),
             serial_fallback=data.get("serial_fallback", False),
+            worker=data.get("worker", ""),
         )
         for name in COUNTER_FIELDS:
             # Stored snapshots predating a counter read back as zero.

@@ -1,0 +1,168 @@
+"""ResultsStore.merge: idempotent union of per-host checkpoint dirs.
+
+The distributed-sweep contract: spec keys are content hashes, so the
+same spec completed on any host lands on the same key, and merging a
+fleet's checkpoint directories is (a) a pure union for disjoint work,
+(b) a no-op for re-delivered work, and (c) a loudly-reported
+last-writer-wins for genuinely divergent payloads (version skew).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import DetectionScheme, default_system
+from repro.errors import SimulationError
+from repro.sim.parallel import RunSpec, run_many
+from repro.store import ResultsStore, spec_key
+
+TXNS = 10
+
+
+def make_spec(seed: int = 1, label: str = "x") -> RunSpec:
+    return RunSpec(
+        workload="kmeans",
+        config=default_system(DetectionScheme.SUBBLOCK, 4),
+        seed=seed,
+        txns_per_core=TXNS,
+        label=label,
+    )
+
+
+def fill_store(directory, seeds, label="x"):
+    """One store directory holding one completed run per seed."""
+    specs = [make_spec(seed=s, label=label) for s in seeds]
+    results = run_many(specs, "serial")
+    with ResultsStore(directory) as store:
+        for spec, res in zip(specs, results):
+            store.record(spec, res)
+    return specs
+
+
+class TestMerge:
+    def test_disjoint_union(self, tmp_path):
+        fill_store(tmp_path / "host_a", (1, 2))
+        fill_store(tmp_path / "host_b", (3, 4))
+        with ResultsStore(tmp_path / "host_a") as store:
+            report = store.merge(str(tmp_path / "host_b"))
+            assert (report.added, report.updated, report.unchanged) == (2, 0, 0)
+            assert not report.conflicts
+            assert len(store) == 4
+        # The merged rows reload as real results.
+        with ResultsStore(tmp_path / "host_a") as store:
+            for seed in (1, 2, 3, 4):
+                assert store.has_spec(make_spec(seed=seed))
+
+    def test_overlap_is_unchanged_and_idempotent(self, tmp_path):
+        """Crash/retry across a fleet double-completes specs; merging the
+        duplicates is free, and re-merging is a no-op."""
+        fill_store(tmp_path / "a", (1, 2, 3))
+        fill_store(tmp_path / "b", (2, 3, 4))
+        with ResultsStore(tmp_path / "a") as store:
+            first = store.merge(str(tmp_path / "b"))
+            assert (first.added, first.unchanged) == (1, 2)
+            again = store.merge(str(tmp_path / "b"))
+            assert (again.added, again.unchanged) == (0, 3)
+            assert len(store) == 4
+
+    def test_merge_many_sources_exactly_once(self, tmp_path):
+        """The acceptance shape: N hosts with overlapping completions
+        merge to exactly one row per distinct spec."""
+        parts = [(1, 2), (2, 3), (3, 4, 5), (1, 5)]
+        for n, seeds in enumerate(parts):
+            fill_store(tmp_path / f"h{n}", seeds)
+        distinct = {
+            spec_key(make_spec(seed=s)) for seeds in parts for s in seeds
+        }
+        with ResultsStore(tmp_path / "merged") as store:
+            store.merge([str(tmp_path / f"h{n}") for n in range(len(parts))])
+            assert len(store) == len(distinct) == 5
+
+    def test_provenance_never_conflicts(self, tmp_path):
+        """Two hosts ran the same spec: worker identity and labels
+        differ, physics match — that is `unchanged`, not a conflict."""
+        fill_store(tmp_path / "a", (1,), label="sweep on host a")
+        fill_store(tmp_path / "b", (1,), label="sweep on host b")
+        # Forge differing provenance on host b's row.
+        log = tmp_path / "b" / "results.jsonl"
+        payload = json.loads(log.read_text())
+        payload["summary"]["worker"] = "otherhost:4242"
+        payload["summary"]["worker_retries"] = 2
+        payload["summary"]["serial_fallback"] = True
+        log.write_text(json.dumps(payload) + "\n")
+        with ResultsStore(tmp_path / "a") as store:
+            report = store.merge(str(tmp_path / "b"))
+            assert report.unchanged == 1 and not report.conflicts
+
+    def test_divergent_physics_reports_and_last_writer_wins(self, tmp_path):
+        fill_store(tmp_path / "a", (1,))
+        fill_store(tmp_path / "b", (1,))
+        log = tmp_path / "b" / "results.jsonl"
+        payload = json.loads(log.read_text())
+        key = payload["key"]
+        payload["summary"]["txn_commits"] = payload["summary"]["txn_commits"] + 7
+        log.write_text(json.dumps(payload) + "\n")
+        with ResultsStore(tmp_path / "a") as store:
+            report = store.merge(str(tmp_path / "b"))
+            assert report.updated == 1 and report.unchanged == 0
+            assert report.conflicts == ((key, ("txn_commits",)),)
+            assert "DIVERGENT" in report.format()
+            # Last writer wins: the incoming (forged) payload is live.
+            res = store.result_for(make_spec(seed=1))
+            assert res.stats.txn_commits == payload["summary"]["txn_commits"]
+        # And durable across reload.
+        with ResultsStore(tmp_path / "a") as store:
+            assert store.result_for(make_spec(seed=1)).stats.txn_commits == (
+                payload["summary"]["txn_commits"]
+            )
+
+    def test_missing_source_raises(self, tmp_path):
+        with ResultsStore(tmp_path / "a") as store:
+            with pytest.raises(SimulationError):
+                store.merge(str(tmp_path / "nope"))
+
+    def test_self_merge_is_noop(self, tmp_path):
+        fill_store(tmp_path / "a", (1, 2))
+        with ResultsStore(tmp_path / "a") as store:
+            report = store.merge(str(tmp_path / "a"))
+            assert report.total == 0
+            assert len(store) == 2
+
+    def test_accepts_results_file_path_directly(self, tmp_path):
+        fill_store(tmp_path / "a", (1,))
+        with ResultsStore(tmp_path / "b") as store:
+            report = store.merge(str(tmp_path / "a" / "results.jsonl"))
+            assert report.added == 1
+
+
+class TestMergeCli:
+    def test_store_merge_command(self, tmp_path, capsys):
+        fill_store(tmp_path / "a", (1, 2))
+        fill_store(tmp_path / "b", (2, 3))
+        dest = str(tmp_path / "merged")
+        code = main(
+            ["store", "merge", dest, str(tmp_path / "a"), str(tmp_path / "b")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 added" in out
+        with ResultsStore(dest) as store:
+            assert len(store) == 3
+
+    def test_store_merge_conflict_exit_code(self, tmp_path, capsys):
+        fill_store(tmp_path / "a", (1,))
+        fill_store(tmp_path / "b", (1,))
+        log = tmp_path / "b" / "results.jsonl"
+        payload = json.loads(log.read_text())
+        payload["summary"]["stall_aborts"] = payload["summary"]["stall_aborts"] + 1
+        log.write_text(json.dumps(payload) + "\n")
+        code = main(
+            [
+                "store", "merge", str(tmp_path / "a"), str(tmp_path / "b"),
+            ]
+        )
+        assert code == 1
+        assert "DIVERGENT" in capsys.readouterr().out
